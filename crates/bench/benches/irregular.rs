@@ -1,0 +1,65 @@
+//! Irregular-workload benchmarks: where work stealing earns its keep.
+//!
+//! The paper's stencils are *regular*; its Section I motivates AMT
+//! runtimes with dynamic, low-uniformity algorithms. These benches measure
+//! the scheduler on exactly that: an unbalanced tree search under the
+//! stealing vs. static policies, fork-join recursion across grain sizes,
+//! and adaptive quadrature with a localized hot spot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parallex::prelude::*;
+use parallex::sched::SchedulerPolicy;
+use parallex_workloads::quadrature::integrate_adaptive;
+use parallex_workloads::uts::{uts_count, uts_count_sequential, UtsParams};
+use parallex_workloads::{fib::fib_reference, parallel_fib};
+
+fn bench_uts_policies(c: &mut Criterion) {
+    let params = UtsParams::small(42);
+    let want = uts_count_sequential(params);
+    let mut g = c.benchmark_group("irregular/uts");
+    for (name, policy) in [
+        ("steal", SchedulerPolicy::LocalPriority),
+        ("static", SchedulerPolicy::Static),
+    ] {
+        g.bench_function(name, |b| {
+            let rt = Runtime::builder().worker_threads(4).scheduler(policy).build();
+            b.iter(|| assert_eq!(uts_count(&rt, params), want));
+            rt.shutdown();
+        });
+    }
+    g.bench_function("sequential", |b| {
+        b.iter(|| assert_eq!(uts_count_sequential(params), want));
+    });
+    g.finish();
+}
+
+fn bench_fib_grain(c: &mut Criterion) {
+    let want = fib_reference(27);
+    let rt = Runtime::builder().worker_threads(4).build();
+    let mut g = c.benchmark_group("irregular/fib27");
+    for threshold in [10u64, 16, 22] {
+        g.bench_function(format!("threshold_{threshold}"), |b| {
+            b.iter(|| assert_eq!(parallel_fib(&rt, 27, threshold), want));
+        });
+    }
+    g.finish();
+    rt.shutdown();
+}
+
+fn bench_quadrature(c: &mut Criterion) {
+    let rt = Runtime::builder().worker_threads(4).build();
+    c.bench_function("irregular/adaptive_quadrature_spike", |b| {
+        b.iter(|| {
+            let v = integrate_adaptive(&rt, |x| 1.0 / (1e-4 + x * x), -1.0, 1.0, 1e-8);
+            assert!(v > 300.0);
+        });
+    });
+    rt.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_uts_policies, bench_fib_grain, bench_quadrature
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Native (host-executed) 2D Jacobi: scalar vs. explicit VNS-SIMD layouts
+//! on the real runtime — the Listing 2 comparison, scaled to laptop size.
+//! Reports GLUP/s-equivalent throughput per layout and data type.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use parallex::algorithms::par;
+use parallex::runtime::Runtime;
+use parallex_stencil::jacobi2d::{Jacobi2d, Jacobi2dVns};
+
+const NX: usize = 512;
+const NY: usize = 256;
+const STEPS: usize = 4;
+
+fn init(x: usize, y: usize) -> f64 {
+    ((x * 31 + y * 17) % 101) as f64 / 101.0
+}
+
+fn init32(x: usize, y: usize) -> f32 {
+    init(x, y) as f32
+}
+
+fn bench_layouts(c: &mut Criterion) {
+    let rt = Runtime::builder().worker_threads(4).build();
+    let lups = (NX * NY * STEPS) as u64;
+    let mut g = c.benchmark_group("jacobi2d_native");
+    g.throughput(Throughput::Elements(lups));
+
+    g.bench_function("f64_scalar", |b| {
+        let mut j = Jacobi2d::new(NX, NY, 0.0, init);
+        b.iter(|| j.run(STEPS, &par(&rt)));
+    });
+    g.bench_function("f64_vns8", |b| {
+        let mut j = Jacobi2dVns::<f64, 8>::new(NX, NY, 0.0, init);
+        b.iter(|| j.run(STEPS, &par(&rt)));
+    });
+    g.bench_function("f32_scalar", |b| {
+        let mut j = Jacobi2d::new(NX, NY, 0.0f32, init32);
+        b.iter(|| j.run(STEPS, &par(&rt)));
+    });
+    g.bench_function("f32_vns16", |b| {
+        let mut j = Jacobi2dVns::<f32, 16>::new(NX, NY, 0.0, init32);
+        b.iter(|| j.run(STEPS, &par(&rt)));
+    });
+    g.finish();
+    rt.shutdown();
+}
+
+fn bench_tiling(c: &mut Criterion) {
+    // The explicit cache-blocked traversal vs the plain row sweep (the
+    // paper: large cache lines grant A64FX/TX2 this blocking for free).
+    use parallex_stencil::grid::ScalarGrid;
+    use parallex_stencil::jacobi2d::jacobi_step_scalar_tiled;
+    let rt = Runtime::builder().worker_threads(4).build();
+    let lups = (NX * NY * STEPS) as u64;
+    let mut g = c.benchmark_group("jacobi2d_tiled");
+    g.throughput(Throughput::Elements(lups));
+    for tile_rows in [4usize, 16, 64] {
+        g.bench_function(format!("tile_{tile_rows}"), |b| {
+            let mut cur = ScalarGrid::from_fn(NX, NY, init);
+            let mut next = ScalarGrid::zeros(NX, NY);
+            b.iter(|| {
+                for _ in 0..STEPS {
+                    jacobi_step_scalar_tiled(&cur, &mut next, &par(&rt), tile_rows);
+                    std::mem::swap(&mut cur, &mut next);
+                }
+            });
+        });
+    }
+    g.finish();
+    rt.shutdown();
+}
+
+fn bench_stream_native(c: &mut Criterion) {
+    let rt = Runtime::builder().worker_threads(4).build();
+    let elems = 1 << 22;
+    let mut g = c.benchmark_group("stream_native");
+    g.throughput(Throughput::Bytes(elems as u64 * 16));
+    g.bench_function("copy_4M_doubles", |b| {
+        b.iter(|| parallex_stencil::stream::stream_copy_host(&rt, elems, 1));
+    });
+    g.finish();
+    rt.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_layouts, bench_tiling, bench_stream_native
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks of the real `parallex` runtime: the raw AMT
+//! overheads (task spawn, future chains, channels, parcels) whose
+//! magnitude justifies the `task_overhead_ns` / `step_overhead_us`
+//! parameters used by the performance models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parallex::lcos::future::when_all;
+use parallex::locality::Cluster;
+use parallex::parcel::serialize;
+use parallex::prelude::*;
+
+fn bench_task_spawn(c: &mut Criterion) {
+    let rt = Runtime::builder().worker_threads(4).build();
+    let mut g = c.benchmark_group("runtime/spawn");
+    for &n in &[100usize, 1000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("spawn_wait", n), &n, |b, &n| {
+            b.iter(|| {
+                let l = Latch::for_runtime(&rt, n);
+                for _ in 0..n {
+                    let l = l.clone();
+                    rt.spawn(move || l.count_down(1));
+                }
+                l.wait();
+            });
+        });
+    }
+    g.finish();
+    rt.shutdown();
+}
+
+fn bench_future_chain(c: &mut Criterion) {
+    let rt = Runtime::builder().worker_threads(2).build();
+    c.bench_function("runtime/future_then_chain_depth16", |b| {
+        b.iter(|| {
+            let mut f = rt.async_task(|| 0u64);
+            for _ in 0..16 {
+                f = f.then(|x| x + 1);
+            }
+            assert_eq!(f.get(), 16);
+        });
+    });
+    c.bench_function("runtime/when_all_64", |b| {
+        b.iter(|| {
+            let fs: Vec<_> = (0..64).map(|i| rt.async_task(move || i as u64)).collect();
+            let sum: u64 = when_all(fs).get().into_iter().sum();
+            assert_eq!(sum, 2016);
+        });
+    });
+    rt.shutdown();
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let rt = Runtime::builder().worker_threads(2).build();
+    c.bench_function("runtime/channel_send_recv_1000", |b| {
+        let ch: Channel<u64> = Channel::for_runtime(&rt);
+        b.iter(|| {
+            for i in 0..1000 {
+                ch.send(i).unwrap();
+            }
+            let mut sum = 0;
+            for _ in 0..1000 {
+                sum += ch.recv().get();
+            }
+            assert_eq!(sum, 499_500);
+        });
+    });
+    rt.shutdown();
+}
+
+fn bench_parcel_roundtrip(c: &mut Criterion) {
+    let cluster = Cluster::new(2, 2);
+    cluster.register_action(1, "echo", |_, _, p| Ok(p.to_vec()));
+    let gid = cluster.new_component(1, ());
+    c.bench_function("runtime/parcel_echo_roundtrip", |b| {
+        b.iter(|| {
+            let f = cluster
+                .locality(0)
+                .async_action_raw(gid, 1, &42u64)
+                .unwrap();
+            let bytes = f.get();
+            let v: u64 = serialize::from_bytes(&bytes).unwrap();
+            assert_eq!(v, 42);
+        });
+    });
+    cluster.shutdown();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let halo: Vec<f64> = (0..1024).map(|i| i as f64).collect();
+    let mut g = c.benchmark_group("runtime/serialize");
+    g.throughput(Throughput::Bytes((halo.len() * 8) as u64));
+    g.bench_function("vec_f64_1024_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = serialize::to_bytes(&halo).unwrap();
+            let back: Vec<f64> = serialize::from_bytes(&bytes).unwrap();
+            assert_eq!(back.len(), 1024);
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_task_spawn, bench_future_chain, bench_channel,
+              bench_parcel_roundtrip, bench_serialization
+}
+criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p parallex-bench --bin repro -- all
+//! cargo run --release -p parallex-bench --bin repro -- fig6
+//! cargo run --release -p parallex-bench --bin repro -- fig2 --csv
+//! ```
+//!
+//! Subcommands: `table1`, `fig2`, `fig3`, `fig4`, `fig5`, `fig6`, `fig7`,
+//! `fig8`, `table3`, `table4`, `table5`, `table6`, `all`. Add `--csv` to
+//! emit figures as CSV instead of aligned text.
+
+use parallex_bench::figures;
+use parallex_bench::report::{render_csv, render_figure, Series};
+use parallex_bench::tables;
+use std::path::PathBuf;
+
+struct Sink {
+    csv: bool,
+    out_dir: Option<PathBuf>,
+}
+
+impl Sink {
+    fn emit_ext(&self, name: &str, ext: &str, text: String) {
+        match &self.out_dir {
+            Some(dir) => {
+                let path = dir.join(format!("{name}.{ext}"));
+                std::fs::write(&path, text).expect("write result file");
+                eprintln!("wrote {}", path.display());
+            }
+            None => println!("{text}"),
+        }
+    }
+
+    /// Figures honour `--csv`; tables are always aligned text.
+    fn emit(&self, name: &str, text: String) {
+        self.emit_ext(name, if self.csv { "csv" } else { "txt" }, text);
+    }
+
+    fn emit_table(&self, name: &str, text: String) {
+        self.emit_ext(name, "txt", text);
+    }
+}
+
+fn figure_text(title: &str, x: &str, y: &str, series: &[Series], csv: bool) -> String {
+    if csv {
+        render_csv(x, series)
+    } else {
+        render_figure(title, x, y, series)
+    }
+}
+
+fn run(cmd: &str, sink: &Sink) -> bool {
+    let csv = sink.csv;
+    let print_figure = |name: &str, title: &str, x: &str, y: &str, series: Vec<Series>| {
+        sink.emit(name, figure_text(title, x, y, &series, csv));
+    };
+    match cmd {
+        "table1" => sink.emit_table("table1", tables::table1_specs().render()),
+        "fig2" => print_figure(
+            "fig2",
+            "Fig. 2: Memory Bandwidth, STREAM COPY (128M elements)",
+            "cores",
+            "GB/s",
+            figures::fig2_stream(),
+        ),
+        "fig3" => print_figure(
+            "fig3",
+            "Fig. 3: 1D stencil distributed strong/weak scaling (100 steps)",
+            "nodes",
+            "seconds",
+            figures::fig3_heat1d(),
+        ),
+        "fig4" => print_figure(
+            "fig4",
+            "Fig. 4: 2D stencil, Intel Xeon E5-2660 v3, 8192x131072, 100 steps",
+            "cores",
+            "GLUP/s",
+            figures::fig4_xeon(),
+        ),
+        "fig5" => print_figure(
+            "fig5",
+            "Fig. 5: 2D stencil, HiSilicon Kunpeng 916 (Hi1616), 8192x131072, 100 steps",
+            "cores",
+            "GLUP/s",
+            figures::fig5_kunpeng(),
+        ),
+        "fig6" => print_figure(
+            "fig6",
+            "Fig. 6: 2D stencil, Fujitsu A64FX, 8192x131072, 100 steps",
+            "cores",
+            "GLUP/s",
+            figures::fig6_a64fx(),
+        ),
+        "fig7" => print_figure(
+            "fig7",
+            "Fig. 7: 2D stencil, Fujitsu A64FX, 8192x196608 (grid-size ablation)",
+            "cores",
+            "GLUP/s",
+            figures::fig7_a64fx_large(),
+        ),
+        "fig8" => print_figure(
+            "fig8",
+            "Fig. 8: 2D stencil, Marvell ThunderX2, 8192x131072, 100 steps",
+            "cores",
+            "GLUP/s",
+            figures::fig8_tx2(),
+        ),
+        "table3" => sink.emit_table("table3", tables::table3_xeon().render()),
+        "table4" => sink.emit_table("table4", tables::table4_kunpeng().render()),
+        "table5" => sink.emit_table("table5", tables::table5_a64fx().render()),
+        "table6" => sink.emit_table("table6", tables::table6_tx2().render()),
+        "compare" => sink.emit_table("compare", parallex_bench::compare::compare_table().render()),
+        "sensitivity" => {
+            use parallex_perfsim::sensitivity::{survival_margin, Feature};
+            let mut t = parallex_bench::report::Table::new(
+                "Robustness of the qualitative features to machine-constant error",
+                &["Feature", "Survives +/-"],
+            );
+            for f in Feature::ALL {
+                t.push_row(vec![
+                    f.name().to_string(),
+                    format!(">= {:.0}%", survival_margin(f) * 100.0),
+                ]);
+            }
+            sink.emit_table("sensitivity", t.render());
+        }
+        "all" => {
+            for c in [
+                "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table3",
+                "table4", "table5", "table6", "compare", "sensitivity",
+            ] {
+                run(c, sink);
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    let mut skip_next = false;
+    let cmds: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--out" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .collect();
+    if cmds.is_empty() {
+        eprintln!(
+            "usage: repro [--csv] [--out DIR] <table1|fig2..fig8|table3..table6|compare|sensitivity|all> [more…]"
+        );
+        std::process::exit(2);
+    }
+    let sink = Sink { csv, out_dir };
+    for c in cmds {
+        if !run(c, &sink) {
+            eprintln!("unknown experiment: {c}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Generators for every figure of the paper's evaluation.
+//!
+//! Each function returns the labelled series of one figure, produced
+//! entirely by the calibrated models (no hard-coded outputs); the `repro`
+//! binary renders them, EXPERIMENTS.md records how they compare to the
+//! paper, and `tests/model_consistency.rs` asserts the qualitative claims.
+
+use crate::report::Series;
+use parallex_machine::spec::ProcessorId;
+use parallex_perfsim::exec::{self, Stencil2dConfig};
+use parallex_perfsim::heat1d::{self, Heat1dConfig};
+use parallex_perfsim::kernel::Vectorization;
+use parallex_perfsim::stream;
+use parallex_roofline::expected_peak_glups;
+
+/// Fig. 2: STREAM COPY bandwidth vs. cores for all four machines.
+pub fn fig2_stream() -> Vec<Series> {
+    ProcessorId::ALL
+        .iter()
+        .map(|&id| Series::from_usize(id.name(), stream::stream_series(id)))
+        .collect()
+}
+
+/// Fig. 3: 1D stencil strong + weak scaling, seconds vs. nodes.
+pub fn fig3_heat1d() -> Vec<Series> {
+    let mut out = Vec::new();
+    for &id in &ProcessorId::ALL {
+        let strong = Heat1dConfig::paper_strong(id);
+        out.push(Series::from_usize(
+            format!("{} (strong, 1.2G pts)", id.name()),
+            heat1d::series(&strong),
+        ));
+        let weak = Heat1dConfig::paper_weak(id);
+        out.push(Series::from_usize(
+            format!("{} (weak, 480M pts/node)", id.name()),
+            heat1d::series(&weak),
+        ));
+    }
+    out
+}
+
+/// The four measured lines of a 2D-stencil figure for one machine.
+fn stencil_lines(proc: ProcessorId, large_grid: bool) -> Vec<Series> {
+    let mut out = Vec::new();
+    for (bytes, vec) in [
+        (4, Vectorization::Auto),
+        (4, Vectorization::Explicit),
+        (8, Vectorization::Auto),
+        (8, Vectorization::Explicit),
+    ] {
+        let cfg = if large_grid {
+            Stencil2dConfig::paper_large(proc, bytes, vec)
+        } else {
+            Stencil2dConfig::paper(proc, bytes, vec)
+        };
+        out.push(Series::from_usize(vec.label(bytes), exec::series(&cfg)));
+    }
+    out
+}
+
+/// The expected-peak (roofline) lines of a 2D-stencil figure.
+///
+/// `transfer_counts` follows the paper: Xeon/Kunpeng figures draw one
+/// expected peak (3 transfers); A64FX/TX2 figures draw "Expected Peak Max"
+/// (2 transfers) and "Expected Peak Min" (3 transfers).
+fn peak_lines(proc: ProcessorId, transfer_counts: &[(f64, &str)]) -> Vec<Series> {
+    let spec = proc.spec();
+    let mut out = Vec::new();
+    for &(transfers, suffix) in transfer_counts {
+        for bytes in [4usize, 8] {
+            let label = format!(
+                "Expected Peak{} ({})",
+                suffix,
+                if bytes == 4 { "float" } else { "double" }
+            );
+            let pts: Vec<(usize, f64)> = spec
+                .core_sweep()
+                .into_iter()
+                .map(|c| (c, expected_peak_glups(&spec, bytes, c, transfers)))
+                .collect();
+            out.push(Series::from_usize(label, pts));
+        }
+    }
+    out
+}
+
+/// A complete 2D-stencil figure: measured + expected-peak lines.
+pub fn stencil_figure(proc: ProcessorId, large_grid: bool) -> Vec<Series> {
+    let peaks: &[(f64, &str)] = match proc {
+        ProcessorId::XeonE5_2660v3 | ProcessorId::Kunpeng916 => &[(3.0, "")],
+        ProcessorId::ThunderX2 | ProcessorId::A64FX => &[(2.0, " Max"), (3.0, " Min")],
+    };
+    let mut out = stencil_lines(proc, large_grid);
+    out.extend(peak_lines(proc, peaks));
+    out
+}
+
+/// Fig. 4: Intel Xeon E5-2660 v3, 8192×131072.
+pub fn fig4_xeon() -> Vec<Series> {
+    stencil_figure(ProcessorId::XeonE5_2660v3, false)
+}
+
+/// Fig. 5: HiSilicon Kunpeng 916 (Hi1616), 8192×131072.
+pub fn fig5_kunpeng() -> Vec<Series> {
+    stencil_figure(ProcessorId::Kunpeng916, false)
+}
+
+/// Fig. 6: Fujitsu A64FX, 8192×131072.
+pub fn fig6_a64fx() -> Vec<Series> {
+    stencil_figure(ProcessorId::A64FX, false)
+}
+
+/// Fig. 7: Fujitsu A64FX, 8192×196608 (grid-size ablation).
+pub fn fig7_a64fx_large() -> Vec<Series> {
+    stencil_figure(ProcessorId::A64FX, true)
+}
+
+/// Fig. 8: Marvell ThunderX2, 8192×131072.
+pub fn fig8_tx2() -> Vec<Series> {
+    stencil_figure(ProcessorId::ThunderX2, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_has_four_machines() {
+        let s = fig2_stream();
+        assert_eq!(s.len(), 4);
+        assert!(s.iter().all(|s| !s.points.is_empty()));
+    }
+
+    #[test]
+    fn fig3_has_strong_and_weak_lines_per_machine() {
+        let s = fig3_heat1d();
+        assert_eq!(s.len(), 8);
+        assert!(s.iter().any(|s| s.label.contains("strong")));
+        assert!(s.iter().any(|s| s.label.contains("weak")));
+    }
+
+    #[test]
+    fn stencil_figures_have_four_measured_lines() {
+        for f in [fig4_xeon(), fig5_kunpeng(), fig6_a64fx(), fig7_a64fx_large(), fig8_tx2()] {
+            let measured = f
+                .iter()
+                .filter(|s| !s.label.starts_with("Expected"))
+                .count();
+            assert_eq!(measured, 4);
+        }
+    }
+
+    #[test]
+    fn a64fx_figure_has_min_and_max_peaks() {
+        let f = fig6_a64fx();
+        assert!(f.iter().any(|s| s.label.contains("Peak Max")));
+        assert!(f.iter().any(|s| s.label.contains("Peak Min")));
+        // Xeon figure carries a single expected peak per dtype.
+        let x = fig4_xeon();
+        assert!(!x.iter().any(|s| s.label.contains("Peak Max")));
+        assert_eq!(x.iter().filter(|s| s.label.starts_with("Expected")).count(), 2);
+    }
+
+    #[test]
+    fn every_series_is_positive_and_finite() {
+        for figs in [
+            fig2_stream(),
+            fig3_heat1d(),
+            fig4_xeon(),
+            fig5_kunpeng(),
+            fig6_a64fx(),
+            fig7_a64fx_large(),
+            fig8_tx2(),
+        ] {
+            for s in figs {
+                for (x, y) in s.points {
+                    assert!(y.is_finite() && y > 0.0, "{} at {x}: {y}", s.label);
+                }
+            }
+        }
+    }
+}

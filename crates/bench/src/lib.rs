@@ -1,0 +1,16 @@
+//! # parallex-bench
+//!
+//! The reproduction harness. The `repro` binary regenerates every table
+//! and figure of the paper's evaluation from the models in
+//! `parallex-perfsim` / `parallex-machine` / `parallex-roofline`
+//! (`cargo run -p parallex-bench --bin repro -- all`); the Criterion
+//! benches measure the *real* `parallex` runtime and kernels on the host.
+//! This library holds the shared report-formatting helpers plus the
+//! figure/table generators the binary and the tests both call.
+
+pub mod compare;
+pub mod figures;
+pub mod report;
+pub mod tables;
+
+pub use report::{Series, Table};

@@ -1,0 +1,192 @@
+//! Plain-text/CSV rendering for figure series and tables.
+
+use std::fmt::Write as _;
+
+/// One labelled line of a figure: `(x, y)` points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build from integer x-values.
+    pub fn from_usize(label: impl Into<String>, pts: impl IntoIterator<Item = (usize, f64)>) -> Series {
+        Series {
+            label: label.into(),
+            points: pts.into_iter().map(|(x, y)| (x as f64, y)).collect(),
+        }
+    }
+}
+
+/// A figure: several series over a common x-axis meaning.
+pub fn render_figure(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = writeln!(out, "# x = {x_label}, y = {y_label}");
+    for s in series {
+        let _ = writeln!(out, "## {}", s.label);
+        for (x, y) in &s.points {
+            let _ = writeln!(out, "{x:>10.0}  {y:>12.4}");
+        }
+    }
+    out
+}
+
+/// Render several series as one CSV with a shared x column (series must
+/// share x-values; missing cells become empty).
+pub fn render_csv(x_label: &str, series: &[Series]) -> String {
+    let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.dedup();
+    let mut out = String::new();
+    let _ = write!(out, "{x_label}");
+    for s in series {
+        let _ = write!(out, ",{}", s.label);
+    }
+    let _ = writeln!(out);
+    for x in xs {
+        let _ = write!(out, "{x}");
+        for s in series {
+            match s.points.iter().find(|p| p.0 == x) {
+                Some((_, y)) => {
+                    let _ = write!(out, ",{y:.6}");
+                }
+                None => {
+                    let _ = write!(out, ",");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// A simple table: header row + string cells.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Row-major cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Build with a title and header.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Render as aligned text.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:<w$} ", cell, w = widths[c]);
+            }
+            let _ = writeln!(out, "|");
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Format a count in the paper's `a.bcd x 10^e` style.
+pub fn sci(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let e = v.abs().log10().floor() as i32;
+    let m = v / 10f64.powi(e);
+    format!("{m:.3}e{e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_from_usize() {
+        let s = Series::from_usize("a", [(1usize, 2.0), (4, 8.0)]);
+        assert_eq!(s.points, vec![(1.0, 2.0), (4.0, 8.0)]);
+    }
+
+    #[test]
+    fn figure_contains_all_series() {
+        let s = vec![
+            Series::from_usize("one", [(1usize, 1.0)]),
+            Series::from_usize("two", [(2usize, 4.0)]),
+        ];
+        let txt = render_figure("Fig", "cores", "GB/s", &s);
+        assert!(txt.contains("## one"));
+        assert!(txt.contains("## two"));
+        assert!(txt.contains("# Fig"));
+    }
+
+    #[test]
+    fn csv_merges_x_values() {
+        let s = vec![
+            Series::from_usize("a", [(1usize, 1.0), (2, 2.0)]),
+            Series::from_usize("b", [(2usize, 20.0)]),
+        ];
+        let csv = render_csv("x", &s);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert!(lines[1].starts_with("1,1.0"));
+        assert!(lines[1].ends_with(','), "missing cell is empty");
+        assert!(lines[2].contains("20.0"));
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("T", &["Data Type", "Instruction"]);
+        t.push_row(vec!["Float".into(), sci(3.153e10)]);
+        let txt = t.render();
+        assert!(txt.contains("Float"));
+        assert!(txt.contains("3.153e10"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn wrong_arity_panics() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn sci_formats_like_the_paper() {
+        assert_eq!(sci(3.153e10), "3.153e10");
+        assert_eq!(sci(7.867e7), "7.867e7");
+        assert_eq!(sci(0.0), "0");
+    }
+}

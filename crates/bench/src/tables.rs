@@ -1,0 +1,170 @@
+//! Generators for the paper's tables.
+//!
+//! Table I comes straight from the machine specs; Tables III–VI are the
+//! counter-model measurements at the paper's reference workload
+//! (8192×16384, 100 iterations, one core). Columns mirror the paper: the
+//! machines whose stall counters the paper could not read (Xeon, Kunpeng)
+//! print instruction + cache-miss columns only.
+
+use crate::report::{sci, Table};
+use parallex_machine::spec::ProcessorId;
+use parallex_perfsim::counters::measure_reference;
+use parallex_perfsim::kernel::Vectorization;
+
+const VARIANTS: [(usize, Vectorization); 4] = [
+    (4, Vectorization::Auto),
+    (4, Vectorization::Explicit),
+    (8, Vectorization::Auto),
+    (8, Vectorization::Explicit),
+];
+
+/// Table I: processor specifications.
+pub fn table1_specs() -> Table {
+    let mut t = Table::new(
+        "Table I: Specification of the Arm and x86 nodes",
+        &[
+            "",
+            "Intel Xeon E5-2660 v3",
+            "HiSilicon Kunpeng 916",
+            "Marvell ThunderX2",
+            "Fujitsu (FX1000) A64FX",
+        ],
+    );
+    let specs: Vec<_> = ProcessorId::ALL.iter().map(|id| id.spec()).collect();
+    let row = |label: &str, f: &dyn Fn(&parallex_machine::spec::Processor) -> String| {
+        let mut cells = vec![label.to_string()];
+        cells.extend(specs.iter().map(f));
+        cells
+    };
+    t.push_row(row("Processor Clock Speed", &|s| format!("{}GHz", s.clock_ghz)));
+    t.push_row(row("Cores per processor", &|s| s.cores_per_socket.to_string()));
+    t.push_row(row("Processors per node", &|s| s.sockets.to_string()));
+    t.push_row(row("Threads per core", &|s| s.threads_per_core.to_string()));
+    t.push_row(row("Vectorization", &|s| {
+        format!(
+            "{} {} ({}-bit)",
+            if s.vector.pipes == 2 { "Double" } else { "Single" },
+            s.vector.isa_name,
+            s.vector.width_bits
+        )
+    }));
+    t.push_row(row("DP FLOPS per cycle", &|s| {
+        s.vector.dp_flops_per_cycle().to_string()
+    }));
+    t.push_row(row("Peak Performance (GFLOP/s)", &|s| {
+        format!("{:.0}", s.peak_dp_gflops())
+    }));
+    t
+}
+
+fn counter_table(
+    title: &str,
+    proc: ProcessorId,
+    columns: &[&str],
+    extract: impl Fn(&parallex_perfsim::counters::HwCounters) -> Vec<f64>,
+) -> Table {
+    let mut header = vec!["Data Type"];
+    header.extend_from_slice(columns);
+    let mut t = Table::new(title, &header);
+    for (bytes, vec) in VARIANTS {
+        let m = measure_reference(proc, bytes, vec);
+        let mut cells = vec![vec.label(bytes).to_string()];
+        cells.extend(extract(&m).into_iter().map(sci));
+        t.push_row(cells);
+    }
+    t
+}
+
+/// Table III: Xeon E5-2660 v3 counters.
+pub fn table3_xeon() -> Table {
+    counter_table(
+        "Table III: Hardware Counters for Intel Xeon E5-2660v3",
+        ProcessorId::XeonE5_2660v3,
+        &["Instruction", "Cache Misses"],
+        |m| vec![m.instructions, m.cache_misses],
+    )
+}
+
+/// Table IV: Kunpeng 916 / Hi1616 counters.
+pub fn table4_kunpeng() -> Table {
+    counter_table(
+        "Table IV: Hardware Counters for HiSilicon Hi1616",
+        ProcessorId::Kunpeng916,
+        &["Instruction", "Cache Misses"],
+        |m| vec![m.instructions, m.cache_misses],
+    )
+}
+
+/// Table V: A64FX counters.
+pub fn table5_a64fx() -> Table {
+    counter_table(
+        "Table V: Hardware Counters for Fujitsu FX1000 A64FX",
+        ProcessorId::A64FX,
+        &["Instruction", "Frontend Stalls", "Backend Stalls"],
+        |m| vec![m.instructions, m.fe_stalls, m.be_stalls],
+    )
+}
+
+/// Table VI: ThunderX2 counters.
+pub fn table6_tx2() -> Table {
+    counter_table(
+        "Table VI: Hardware Counters for Marvell ThunderX2",
+        ProcessorId::ThunderX2,
+        &["Instruction", "L2 Cache Misses", "Backend Stalls"],
+        |m| vec![m.instructions, m.l2_misses, m.be_stalls],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduces_headline_numbers() {
+        let t = table1_specs().render();
+        for needle in ["2.6GHz", "2.2GHz", "832", "614", "1229", "3379"] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn table3_matches_paper_values() {
+        let t = table3_xeon().render();
+        for needle in ["3.153e10", "1.783e10", "6.010e10", "3.507e10", "2.121e8", "8.751e8"] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn table4_matches_paper_values() {
+        let t = table4_kunpeng().render();
+        for needle in ["4.300e10", "4.144e10", "3.148e9", "4.953e9"] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn table5_matches_paper_values() {
+        let t = table5_a64fx().render();
+        for needle in ["1.284e10", "2.956e10", "3.801e8", "1.443e10"] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn table6_matches_paper_values() {
+        let t = table6_tx2().render();
+        for needle in ["4.039e10", "8.756e10", "1.811e9", "2.826e10", "6.437e9"] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn all_counter_tables_have_four_rows() {
+        for t in [table3_xeon(), table4_kunpeng(), table5_a64fx(), table6_tx2()] {
+            assert_eq!(t.rows.len(), 4);
+            assert_eq!(t.rows[0][0], "Float");
+            assert_eq!(t.rows[3][0], "Vector Double");
+        }
+    }
+}

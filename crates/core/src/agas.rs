@@ -1,0 +1,317 @@
+//! Active Global Address Space (AGAS).
+//!
+//! Every distributed object gets a [`Gid`] that stays valid for the
+//! object's whole lifetime even if the object migrates to another
+//! locality — the defining property the paper highlights ("AGAS supports
+//! load balancing through object migration", Section III-B). The
+//! [`AgasService`] maps GIDs to their *current* locality; per-locality
+//! [`ComponentStore`]s hold the objects themselves; a
+//! [`MigrationRegistry`] knows how to serialize registered component types
+//! so [`crate::locality::Cluster::migrate`] can move them.
+
+use crate::error::{Error, Result};
+use parking_lot::RwLock;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A global identifier: creating locality + locality-unique id. The
+/// creating locality is only a *hint* — resolution goes through AGAS, so a
+/// migrated object keeps its GID.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gid {
+    /// Locality that allocated the id.
+    pub origin: u32,
+    /// Unique id within the allocating locality's sequence.
+    pub lid: u64,
+}
+
+impl Gid {
+    /// Pack into a single 128-bit value (wire format).
+    pub fn to_u128(self) -> u128 {
+        ((self.origin as u128) << 64) | self.lid as u128
+    }
+
+    /// Unpack from [`Gid::to_u128`].
+    pub fn from_u128(v: u128) -> Gid {
+        Gid { origin: (v >> 64) as u32, lid: v as u64 }
+    }
+}
+
+/// The global GID → current-locality directory (one per cluster; HPX
+/// implements it as a distributed service, we centralize it, which is a
+/// valid AGAS implementation strategy for a single-process cluster).
+#[derive(Default)]
+pub struct AgasService {
+    map: RwLock<HashMap<Gid, u32>>,
+    next: AtomicU64,
+}
+
+impl AgasService {
+    /// Create an empty directory.
+    pub fn new() -> AgasService {
+        AgasService::default()
+    }
+
+    /// Allocate a fresh GID homed (initially) at `locality`.
+    pub fn allocate(&self, locality: u32) -> Gid {
+        let gid = Gid { origin: locality, lid: self.next.fetch_add(1, Ordering::Relaxed) };
+        self.map.write().insert(gid, locality);
+        gid
+    }
+
+    /// Where the object currently lives.
+    pub fn resolve(&self, gid: Gid) -> Result<u32> {
+        self.map
+            .read()
+            .get(&gid)
+            .copied()
+            .ok_or(Error::UnknownGid(gid.to_u128()))
+    }
+
+    /// Point a GID at a new locality (migration commit).
+    pub fn rebind(&self, gid: Gid, locality: u32) -> Result<()> {
+        match self.map.write().get_mut(&gid) {
+            Some(l) => {
+                *l = locality;
+                Ok(())
+            }
+            None => Err(Error::UnknownGid(gid.to_u128())),
+        }
+    }
+
+    /// Remove a GID (object destruction).
+    pub fn unregister(&self, gid: Gid) -> Result<()> {
+        self.map
+            .write()
+            .remove(&gid)
+            .map(|_| ())
+            .ok_or(Error::UnknownGid(gid.to_u128()))
+    }
+
+    /// Number of live GIDs.
+    pub fn live_objects(&self) -> usize {
+        self.map.read().len()
+    }
+}
+
+type AnyComponent = Arc<dyn Any + Send + Sync>;
+
+/// Per-locality storage of component instances, keyed by GID.
+#[derive(Default)]
+pub struct ComponentStore {
+    objects: RwLock<HashMap<Gid, (AnyComponent, &'static str)>>,
+}
+
+impl ComponentStore {
+    /// Create an empty store.
+    pub fn new() -> ComponentStore {
+        ComponentStore::default()
+    }
+
+    /// Insert an object under `gid`, remembering its type name for
+    /// migration lookups.
+    pub fn insert<T: Send + Sync + 'static>(&self, gid: Gid, obj: T) {
+        self.objects
+            .write()
+            .insert(gid, (Arc::new(obj), std::any::type_name::<T>()));
+    }
+
+    pub(crate) fn insert_any(&self, gid: Gid, obj: AnyComponent, type_name: &'static str) {
+        self.objects.write().insert(gid, (obj, type_name));
+    }
+
+    /// Fetch and downcast.
+    pub fn get<T: Send + Sync + 'static>(&self, gid: Gid) -> Result<Arc<T>> {
+        let guard = self.objects.read();
+        let (obj, _) = guard.get(&gid).ok_or(Error::UnknownGid(gid.to_u128()))?;
+        obj.clone()
+            .downcast::<T>()
+            .map_err(|_| Error::ComponentTypeMismatch)
+    }
+
+    /// Remove and return the raw object (used by migration).
+    pub(crate) fn take(&self, gid: Gid) -> Result<(AnyComponent, &'static str)> {
+        self.objects
+            .write()
+            .remove(&gid)
+            .ok_or(Error::UnknownGid(gid.to_u128()))
+    }
+
+    /// Whether the object is stored here.
+    pub fn contains(&self, gid: Gid) -> bool {
+        self.objects.read().contains_key(&gid)
+    }
+
+    /// Number of local objects.
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+type SerializeFn = Box<dyn Fn(&(dyn Any + Send + Sync)) -> Result<Vec<u8>> + Send + Sync>;
+type DeserializeFn = Box<dyn Fn(&[u8]) -> Result<AnyComponent> + Send + Sync>;
+
+struct Codec {
+    ser: SerializeFn,
+    de: DeserializeFn,
+}
+
+/// Type registry enabling migration: a component type must be registered
+/// here (with its serde codec) before [`crate::locality::Cluster::migrate`]
+/// can move instances of it.
+#[derive(Default)]
+pub struct MigrationRegistry {
+    codecs: RwLock<HashMap<&'static str, Codec>>,
+}
+
+impl MigrationRegistry {
+    /// Create an empty registry.
+    pub fn new() -> MigrationRegistry {
+        MigrationRegistry::default()
+    }
+
+    /// Register `T` as migratable.
+    pub fn register<T>(&self)
+    where
+        T: Serialize + DeserializeOwned + Send + Sync + 'static,
+    {
+        let name = std::any::type_name::<T>();
+        self.codecs.write().insert(
+            name,
+            Codec {
+                ser: Box::new(|any| {
+                    let v = any
+                        .downcast_ref::<T>()
+                        .ok_or(Error::ComponentTypeMismatch)?;
+                    crate::parcel::serialize::to_bytes(v)
+                }),
+                de: Box::new(|bytes| {
+                    let v: T = crate::parcel::serialize::from_bytes(bytes)?;
+                    Ok(Arc::new(v) as AnyComponent)
+                }),
+            },
+        );
+    }
+
+    /// Serialize a stored component of registered type `type_name`.
+    pub(crate) fn serialize(
+        &self,
+        type_name: &str,
+        obj: &(dyn Any + Send + Sync),
+    ) -> Result<Vec<u8>> {
+        let guard = self.codecs.read();
+        let codec = guard.get(type_name).ok_or_else(|| {
+            Error::MigrationFailed(format!("type {type_name} not registered as migratable"))
+        })?;
+        (codec.ser)(obj)
+    }
+
+    /// Reconstruct a component of registered type `type_name`.
+    pub(crate) fn deserialize(&self, type_name: &str, bytes: &[u8]) -> Result<AnyComponent> {
+        let guard = self.codecs.read();
+        let codec = guard.get(type_name).ok_or_else(|| {
+            Error::MigrationFailed(format!("type {type_name} not registered as migratable"))
+        })?;
+        (codec.de)(bytes)
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gid_pack_unpack() {
+        let g = Gid { origin: 7, lid: 0xDEAD_BEEF };
+        assert_eq!(Gid::from_u128(g.to_u128()), g);
+    }
+
+    #[test]
+    fn allocate_resolve_unregister() {
+        let agas = AgasService::new();
+        let g = agas.allocate(2);
+        assert_eq!(agas.resolve(g).unwrap(), 2);
+        assert_eq!(agas.live_objects(), 1);
+        agas.unregister(g).unwrap();
+        assert!(agas.resolve(g).is_err());
+        assert!(agas.unregister(g).is_err());
+    }
+
+    #[test]
+    fn gids_are_unique() {
+        let agas = AgasService::new();
+        let a = agas.allocate(0);
+        let b = agas.allocate(0);
+        let c = agas.allocate(1);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn rebind_moves_residence_but_keeps_gid() {
+        let agas = AgasService::new();
+        let g = agas.allocate(0);
+        agas.rebind(g, 3).unwrap();
+        assert_eq!(agas.resolve(g).unwrap(), 3);
+        assert_eq!(g.origin, 0, "origin is historical, not current");
+    }
+
+    #[test]
+    fn component_store_downcasts() {
+        let store = ComponentStore::new();
+        let gid = Gid { origin: 0, lid: 1 };
+        store.insert(gid, vec![1u32, 2, 3]);
+        let v = store.get::<Vec<u32>>(gid).unwrap();
+        assert_eq!(*v, vec![1, 2, 3]);
+        assert!(matches!(
+            store.get::<String>(gid),
+            Err(Error::ComponentTypeMismatch)
+        ));
+    }
+
+    #[test]
+    fn component_store_take_removes() {
+        let store = ComponentStore::new();
+        let gid = Gid { origin: 0, lid: 9 };
+        store.insert(gid, 5i64);
+        assert!(store.contains(gid));
+        store.take(gid).unwrap();
+        assert!(!store.contains(gid));
+        assert!(store.take(gid).is_err());
+    }
+
+    #[test]
+    fn migration_registry_roundtrips_components() {
+        let reg = MigrationRegistry::new();
+        reg.register::<Vec<f64>>();
+        let obj: Arc<dyn Any + Send + Sync> = Arc::new(vec![1.0f64, 2.0]);
+        let bytes = reg
+            .serialize(std::any::type_name::<Vec<f64>>(), obj.as_ref())
+            .unwrap();
+        let back = reg
+            .deserialize(std::any::type_name::<Vec<f64>>(), &bytes)
+            .unwrap();
+        let v = back.downcast::<Vec<f64>>().unwrap();
+        assert_eq!(*v, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn unregistered_type_cannot_migrate() {
+        let reg = MigrationRegistry::new();
+        let obj: Arc<dyn Any + Send + Sync> = Arc::new(7u8);
+        assert!(matches!(
+            reg.serialize("u8", obj.as_ref()),
+            Err(Error::MigrationFailed(_))
+        ));
+    }
+}

@@ -1,0 +1,706 @@
+//! Parallel algorithms (HPX `hpx::parallel`): the API the paper's kernels
+//! are written against (Listings 1 and 2 are `hpx::parallel::for_each`
+//! over a chunked index range).
+//!
+//! An [`ExecutionPolicy`] selects sequential or parallel execution, the
+//! chunker (auto, fixed chunk size, fixed chunk count) and the executor
+//! (work-stealing [`crate::executors::ParallelExecutor`] or the NUMA-pinned
+//! [`crate::executors::BlockExecutor`]). All parallel entry points join
+//! their chunk tasks on a latch before returning, so they may borrow the
+//! caller's data; a panic in any chunk is re-raised at the call site after
+//! all chunks finish.
+
+use crate::executors::{BlockExecutor, Executor, ParallelExecutor};
+use crate::lcos::latch::Latch;
+use crate::runtime::Runtime;
+use crate::task::Task;
+use crate::util::SendMutPtr;
+use parking_lot::Mutex;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// How an index range is split into chunk tasks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ChunkPolicy {
+    /// 4 chunks per worker — enough slack for stealing to balance load
+    /// without drowning in task overhead (HPX `auto_chunk_size` spirit).
+    #[default]
+    Auto,
+    /// Fixed elements per chunk (HPX `static_chunk_size(n)`).
+    ChunkSize(usize),
+    /// Fixed number of chunks.
+    NumChunks(usize),
+    /// Exactly one chunk per worker (OpenMP `schedule(static)`; what the
+    /// paper's NUMA-aware runs use together with the block executor).
+    PerWorker,
+    /// Geometrically decreasing chunks (OpenMP `schedule(guided)` / HPX
+    /// `guided_chunk_size`): each chunk takes `remaining / (2 * workers)`
+    /// items (at least one), giving big cache-friendly chunks early and
+    /// small load-balancing chunks at the tail.
+    Guided,
+}
+
+enum Mode {
+    Seq,
+    Par { rt: Runtime, chunk: ChunkPolicy, block: bool },
+}
+
+/// A sequential or parallel execution policy.
+pub struct ExecutionPolicy {
+    mode: Mode,
+}
+
+/// Parallel policy over `rt`'s workers (HPX `hpx::execution::par`).
+///
+/// ```
+/// use parallex::prelude::*;
+///
+/// let rt = Runtime::builder().worker_threads(4).build();
+/// let sum = par(&rt).reduce(0..1000, 0u64, |i| i as u64, |a, b| a + b);
+/// assert_eq!(sum, 499_500);
+/// rt.shutdown();
+/// ```
+pub fn par(rt: &Runtime) -> ExecutionPolicy {
+    ExecutionPolicy {
+        mode: Mode::Par { rt: rt.clone(), chunk: ChunkPolicy::Auto, block: false },
+    }
+}
+
+/// Sequential policy (HPX `hpx::execution::seq`).
+pub fn seq() -> ExecutionPolicy {
+    ExecutionPolicy { mode: Mode::Seq }
+}
+
+impl ExecutionPolicy {
+    /// Use a fixed chunk size.
+    pub fn with_chunk_size(mut self, size: usize) -> Self {
+        assert!(size > 0);
+        if let Mode::Par { chunk, .. } = &mut self.mode {
+            *chunk = ChunkPolicy::ChunkSize(size);
+        }
+        self
+    }
+
+    /// Use a fixed chunk count.
+    pub fn with_chunks(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        if let Mode::Par { chunk, .. } = &mut self.mode {
+            *chunk = ChunkPolicy::NumChunks(n);
+        }
+        self
+    }
+
+    /// One chunk per worker.
+    pub fn per_worker(mut self) -> Self {
+        if let Mode::Par { chunk, .. } = &mut self.mode {
+            *chunk = ChunkPolicy::PerWorker;
+        }
+        self
+    }
+
+    /// Geometrically decreasing chunks (guided scheduling).
+    pub fn guided(mut self) -> Self {
+        if let Mode::Par { chunk, .. } = &mut self.mode {
+            *chunk = ChunkPolicy::Guided;
+        }
+        self
+    }
+
+    /// Pin chunk `i` to the worker owning block `i` (NUMA block executor).
+    /// Implies deterministic placement; combine with `per_worker()` for the
+    /// paper's one-block-per-core layout.
+    pub fn block(mut self) -> Self {
+        if let Mode::Par { block, .. } = &mut self.mode {
+            *block = true;
+        }
+        self
+    }
+
+    /// The exact range partition this policy produces for `items`
+    /// elements (what [`ExecutionPolicy::run_chunked`] will execute).
+    #[allow(clippy::single_range_in_vec_init)] // Seq genuinely yields one range
+    pub fn ranges_for(&self, items: usize) -> Vec<Range<usize>> {
+        if items == 0 {
+            return Vec::new();
+        }
+        match &self.mode {
+            Mode::Seq => vec![0..items],
+            Mode::Par { rt, chunk, .. } => {
+                let w = rt.workers();
+                let chunks = match *chunk {
+                    ChunkPolicy::Auto => 4 * w,
+                    ChunkPolicy::ChunkSize(s) => items.div_ceil(s),
+                    ChunkPolicy::NumChunks(n) => n,
+                    ChunkPolicy::PerWorker => w,
+                    ChunkPolicy::Guided => {
+                        return guided_ranges(items, w);
+                    }
+                };
+                crate::topology::block_ranges(items, chunks.clamp(1, items))
+            }
+        }
+    }
+
+    /// Number of chunks this policy will create for `items` elements.
+    pub fn chunk_count(&self, items: usize) -> usize {
+        self.ranges_for(items).len().max(1)
+    }
+
+    /// The core primitive: run `body(range, chunk_index)` over a partition
+    /// of `0..items`, in parallel under parallel policies. Returns after
+    /// every chunk completed. Panics in chunks are re-raised here.
+    pub fn run_chunked<F>(&self, items: usize, body: F)
+    where
+        F: Fn(Range<usize>, usize) + Sync,
+    {
+        if items == 0 {
+            return;
+        }
+        match &self.mode {
+            Mode::Seq => body(0..items, 0),
+            Mode::Par { rt, block, .. } => {
+                let ranges = self.ranges_for(items);
+                let chunks = ranges.len();
+                if chunks == 1 {
+                    body(0..items, 0);
+                    return;
+                }
+                let latch = Latch::for_runtime(rt, chunks);
+                let panicked = Arc::new(AtomicBool::new(false));
+                let body_ref = &body;
+                for (i, range) in ranges.into_iter().enumerate() {
+                    let latch2 = latch.clone();
+                    let panicked2 = panicked.clone();
+                    let closure: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            body_ref(range, i)
+                        }));
+                        if res.is_err() {
+                            panicked2.store(true, Ordering::Release);
+                        }
+                        latch2.count_down(1);
+                    });
+                    // SAFETY: the closure borrows `body`, which outlives all
+                    // chunk tasks because run_chunked waits on the latch
+                    // before returning, and every chunk counts down exactly
+                    // once (even on panic, via catch_unwind above). The
+                    // lifetime erasure is therefore sound.
+                    let closure: Box<dyn FnOnce() + Send + 'static> =
+                        unsafe { std::mem::transmute(closure) };
+                    let task = Task::new(closure);
+                    if *block {
+                        BlockExecutor::new(rt).execute(task, i, chunks);
+                    } else {
+                        ParallelExecutor::new(rt).execute(task, i, chunks);
+                    }
+                }
+                latch.wait();
+                if panicked.load(Ordering::Acquire) {
+                    panic!("a chunk task panicked during a parallel algorithm");
+                }
+            }
+        }
+    }
+
+    /// Apply `f` to every index in `range` (Listing 1's `for_each` shape).
+    pub fn for_each_index<F>(&self, range: Range<usize>, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let offset = range.start;
+        let items = range.end.saturating_sub(range.start);
+        self.run_chunked(items, |r, _| {
+            for i in r {
+                f(offset + i);
+            }
+        });
+    }
+
+    /// Apply `f(index, &item)` to every slice element.
+    pub fn for_each<T, F>(&self, data: &[T], f: F)
+    where
+        T: Sync,
+        F: Fn(usize, &T) + Sync,
+    {
+        self.run_chunked(data.len(), |r, _| {
+            for i in r {
+                f(i, &data[i]);
+            }
+        });
+    }
+
+    /// Apply `f(index, &mut item)` to every slice element. Chunks receive
+    /// disjoint sub-slices, so mutation is race-free.
+    pub fn for_each_mut<T, F>(&self, data: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let base: SendMutPtr<T> = SendMutPtr::new(data.as_mut_ptr());
+        let len = data.len();
+        self.run_chunked(len, move |r, _| {
+            // SAFETY: chunk ranges are disjoint and within bounds; the
+            // borrow of `data` outlives the call (latch join).
+            for i in r {
+                let item = unsafe { &mut *base.get().add(i) };
+                f(i, item);
+            }
+        });
+    }
+
+    /// `out[i] = f(&input[i])`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn transform<T, U, F>(&self, input: &[T], out: &mut [U], f: F)
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        assert_eq!(input.len(), out.len(), "transform length mismatch");
+        let base: SendMutPtr<U> = SendMutPtr::new(out.as_mut_ptr());
+        self.run_chunked(input.len(), move |r, _| {
+            for i in r {
+                // SAFETY: disjoint in-bounds writes, joined before return.
+                unsafe { *base.get().add(i) = f(&input[i]) };
+            }
+        });
+    }
+
+    /// Fill a slice with clones of `v`.
+    pub fn fill<T>(&self, data: &mut [T], v: T)
+    where
+        T: Clone + Send + Sync,
+    {
+        self.for_each_mut(data, |_, x| *x = v.clone());
+    }
+
+    /// Map each index through `map` and fold with the associative `op`
+    /// starting from `identity` (HPX `transform_reduce` over an index
+    /// range).
+    pub fn reduce<T, M, O>(&self, range: Range<usize>, identity: T, map: M, op: O) -> T
+    where
+        T: Send + Sync + Clone,
+        M: Fn(usize) -> T + Sync,
+        O: Fn(T, T) -> T + Sync + Send,
+    {
+        let offset = range.start;
+        let items = range.end.saturating_sub(range.start);
+        if items == 0 {
+            return identity;
+        }
+        let chunks = self.chunk_count(items);
+        let partials: Mutex<Vec<Option<T>>> = Mutex::new(vec![None; chunks]);
+        // NOTE: run_chunked uses the identical partition (ranges_for), so
+        // chunk indices line up with `partials` slots.
+        self.run_chunked(items, |r, ci| {
+            let mut acc = identity.clone();
+            for i in r {
+                acc = op(acc, map(offset + i));
+            }
+            partials.lock()[ci] = Some(acc);
+        });
+        partials
+            .into_inner()
+            .into_iter()
+            .flatten()
+            .fold(identity, op)
+    }
+
+    /// Element-wise transform of two slices folded with `combine`
+    /// (HPX `transform_reduce` binary form): `fold(init, combine,
+    /// f(a[i], b[i]))`. The classic instance is the dot product.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn transform_reduce<A, B, T, F, O>(
+        &self,
+        a: &[A],
+        b: &[B],
+        init: T,
+        combine: O,
+        f: F,
+    ) -> T
+    where
+        A: Sync,
+        B: Sync,
+        T: Send + Sync + Clone,
+        F: Fn(&A, &B) -> T + Sync,
+        O: Fn(T, T) -> T + Sync + Send,
+    {
+        assert_eq!(a.len(), b.len(), "transform_reduce length mismatch");
+        self.reduce(0..a.len(), init, |i| f(&a[i], &b[i]), combine)
+    }
+
+    /// Dot product of two numeric slices.
+    pub fn dot<T>(&self, a: &[T], b: &[T]) -> T
+    where
+        T: Send
+            + Sync
+            + Clone
+            + Default
+            + std::ops::Add<Output = T>
+            + std::ops::Mul<Output = T>,
+    {
+        self.transform_reduce(a, b, T::default(), |x, y| x + y, |x, y| x.clone() * y.clone())
+    }
+
+    /// Count indices satisfying `pred`.
+    pub fn count_if<P>(&self, range: Range<usize>, pred: P) -> usize
+    where
+        P: Fn(usize) -> bool + Sync,
+    {
+        self.reduce(range, 0usize, |i| usize::from(pred(i)), |a, b| a + b)
+    }
+
+    /// Inclusive prefix scan of `input` under associative `op`
+    /// (three-phase: chunk sums, prefix of sums, local rescan).
+    #[allow(clippy::needless_range_loop)] // index drives both input and output
+    pub fn inclusive_scan<T, O>(&self, input: &[T], op: O) -> Vec<T>
+    where
+        T: Send + Sync + Clone,
+        O: Fn(&T, &T) -> T + Sync,
+    {
+        let n = input.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let ranges = self.ranges_for(n);
+        let chunks = ranges.len();
+        // Phase 1: per-chunk totals.
+        let totals: Mutex<Vec<Option<T>>> = Mutex::new(vec![None; chunks]);
+        self.run_chunked(n, |r, ci| {
+            if r.is_empty() {
+                return;
+            }
+            let mut acc = input[r.start].clone();
+            for i in r.start + 1..r.end {
+                acc = op(&acc, &input[i]);
+            }
+            totals.lock()[ci] = Some(acc);
+        });
+        // Phase 2: exclusive prefix of chunk totals (sequential, cheap).
+        let totals = totals.into_inner();
+        let mut carry: Vec<Option<T>> = Vec::with_capacity(chunks);
+        let mut acc: Option<T> = None;
+        for t in totals {
+            carry.push(acc.clone());
+            if let Some(t) = t {
+                acc = Some(match acc {
+                    Some(a) => op(&a, &t),
+                    None => t,
+                });
+            }
+        }
+        // Phase 3: rescan each chunk with its carry-in. Seed the output
+        // with clones of the input so the buffer is always initialized
+        // (keeps drops sound even if a chunk panics mid-write).
+        let mut out: Vec<T> = input.to_vec();
+        let out_base: SendMutPtr<T> = SendMutPtr::new(out.as_mut_ptr());
+        let carry = &carry;
+        let ranges2 = ranges;
+        let op2 = &op;
+        self.run_chunked(n, move |r, _| {
+            // Identify the chunk this range corresponds to (ranges are the
+            // same block partition).
+            let ci = ranges2.iter().position(|c| *c == r).expect("same partition");
+            let mut acc: Option<T> = carry[ci].clone();
+            for i in r {
+                let v = match &acc {
+                    Some(a) => op2(a, &input[i]),
+                    None => input[i].clone(),
+                };
+                // SAFETY: disjoint in-bounds writes, joined before return.
+                unsafe { *out_base.get().add(i) = v.clone() };
+                acc = Some(v);
+            }
+        });
+        out
+    }
+
+    /// Index of the minimum element (first on ties); `None` on empty.
+    pub fn min_element_index<T: PartialOrd + Sync>(&self, data: &[T]) -> Option<usize> {
+        if data.is_empty() {
+            return None;
+        }
+        Some(self.reduce(
+            0..data.len(),
+            0usize,
+            |i| i,
+            |a, b| if data[b] < data[a] { b } else { a },
+        ))
+    }
+
+    /// Index of the maximum element (first on ties); `None` on empty.
+    pub fn max_element_index<T: PartialOrd + Sync>(&self, data: &[T]) -> Option<usize> {
+        if data.is_empty() {
+            return None;
+        }
+        Some(self.reduce(
+            0..data.len(),
+            0usize,
+            |i| i,
+            |a, b| if data[b] > data[a] { b } else { a },
+        ))
+    }
+}
+
+/// Guided partition: chunk `k` takes `max(remaining / (2 * workers), 1)`
+/// items.
+fn guided_ranges(items: usize, workers: usize) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < items {
+        let remaining = items - start;
+        let len = (remaining / (2 * workers)).max(1);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn rt() -> Runtime {
+        Runtime::builder().worker_threads(4).build()
+    }
+
+    #[test]
+    fn seq_for_each_index_visits_all() {
+        let hits = AtomicUsize::new(0);
+        seq().for_each_index(5..15, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn par_for_each_index_visits_each_exactly_once() {
+        let rt = rt();
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        par(&rt).for_each_index(0..1000, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn for_each_mut_writes_disjointly() {
+        let rt = rt();
+        let mut data = vec![0usize; 10_000];
+        par(&rt).for_each_mut(&mut data, |i, x| *x = i * 2);
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i * 2));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        let rt = rt();
+        par(&rt).for_each_index(0..0, |_| panic!("must not run"));
+        let out: Vec<i32> = par(&rt).inclusive_scan(&[], |a: &i32, b: &i32| a + b);
+        assert!(out.is_empty());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn reduce_sums_correctly() {
+        let rt = rt();
+        let s = par(&rt).reduce(0..1001, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(s, 500_500);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn reduce_matches_seq_for_various_chunkings() {
+        let rt = rt();
+        for policy in [
+            par(&rt),
+            par(&rt).with_chunk_size(7),
+            par(&rt).with_chunks(3),
+            par(&rt).per_worker(),
+            par(&rt).block(),
+            seq(),
+        ] {
+            let s = policy.reduce(0..777, 0u64, |i| (i * i) as u64, |a, b| a + b);
+            let expect: u64 = (0..777u64).map(|i| i * i).sum();
+            assert_eq!(s, expect);
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn count_if_counts() {
+        let rt = rt();
+        let evens = par(&rt).count_if(0..100, |i| i % 2 == 0);
+        assert_eq!(evens, 50);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn transform_maps_slice() {
+        let rt = rt();
+        let input: Vec<i32> = (0..512).collect();
+        let mut out = vec![0i64; 512];
+        par(&rt).transform(&input, &mut out, |&x| (x as i64) * 3);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as i64 * 3));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn fill_sets_every_element() {
+        let rt = rt();
+        let mut v = vec![0u8; 999];
+        par(&rt).fill(&mut v, 7);
+        assert!(v.iter().all(|&x| x == 7));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn inclusive_scan_matches_sequential() {
+        let rt = rt();
+        let input: Vec<u64> = (1..=100).collect();
+        let out = par(&rt).with_chunks(7).inclusive_scan(&input, |a, b| a + b);
+        let mut expect = Vec::new();
+        let mut acc = 0;
+        for v in &input {
+            acc += v;
+            expect.push(acc);
+        }
+        assert_eq!(out, expect);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn transform_reduce_computes_dot_product() {
+        let rt = rt();
+        let a: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..500).map(|i| 2.0 * i as f64).collect();
+        let dot = par(&rt).dot(&a, &b);
+        let want: f64 = (0..500).map(|i| (i * i * 2) as f64).sum();
+        assert_eq!(dot, want);
+        assert_eq!(seq().dot(&a, &b), want);
+        rt.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn transform_reduce_rejects_mismatched_lengths() {
+        let rt = rt();
+        let _ = par(&rt).transform_reduce(&[1, 2], &[1], 0, |a, b| a + b, |x: &i32, y: &i32| x + y);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn max_element_index_finds_max() {
+        let rt = rt();
+        let data = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        assert_eq!(par(&rt).max_element_index(&data), Some(5));
+        assert_eq!(par(&rt).max_element_index::<i32>(&[]), None);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn min_element_index_finds_first_min() {
+        let rt = rt();
+        let data = vec![3, 1, 4, 1, 5];
+        assert_eq!(par(&rt).min_element_index(&data), Some(1), "first of the ties");
+        assert_eq!(seq().min_element_index(&data), Some(1));
+        assert_eq!(par(&rt).min_element_index::<i32>(&[]), None);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn guided_ranges_decrease_and_partition() {
+        let rt = Runtime::builder().worker_threads(2).build();
+        let ranges = par(&rt).guided().ranges_for(1000);
+        // Partition property.
+        let mut next = 0;
+        for r in &ranges {
+            assert_eq!(r.start, next);
+            next = r.end;
+        }
+        assert_eq!(next, 1000);
+        // Non-increasing chunk lengths, first chunk = 1000 / (2*2).
+        assert_eq!(ranges[0].len(), 250);
+        assert!(ranges.windows(2).all(|w| w[0].len() >= w[1].len()));
+        assert_eq!(ranges.last().unwrap().len(), 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn guided_policy_computes_correctly() {
+        let rt = Runtime::builder().worker_threads(3).build();
+        let mut data = vec![0usize; 5000];
+        par(&rt).guided().for_each_mut(&mut data, |i, x| *x = i + 1);
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i + 1));
+        let sum = par(&rt).guided().reduce(0..5000, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(sum, 4999 * 5000 / 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn chunk_count_respects_policies() {
+        let rt = Runtime::builder().worker_threads(2).build();
+        assert_eq!(par(&rt).chunk_count(1000), 8); // 4 per worker
+        assert_eq!(par(&rt).with_chunk_size(100).chunk_count(1000), 10);
+        assert_eq!(par(&rt).with_chunks(3).chunk_count(1000), 3);
+        assert_eq!(par(&rt).per_worker().chunk_count(1000), 2);
+        assert_eq!(par(&rt).chunk_count(2), 2, "never more chunks than items");
+        assert_eq!(seq().chunk_count(1000), 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn panic_in_chunk_propagates_after_join() {
+        let rt = rt();
+        let completed = Arc::new(AtomicUsize::new(0));
+        let completed2 = completed.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par(&rt).with_chunks(8).for_each_index(0..8, |i| {
+                if i == 3 {
+                    panic!("chunk 3 fails");
+                }
+                completed2.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        assert_eq!(completed.load(Ordering::Relaxed), 7, "other chunks still ran");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn nested_parallel_for_each() {
+        let rt = rt();
+        let total = Arc::new(AtomicUsize::new(0));
+        let rt2 = rt.clone();
+        let total2 = total.clone();
+        par(&rt).with_chunks(4).for_each_index(0..4, move |_| {
+            let total3 = total2.clone();
+            par(&rt2).for_each_index(0..100, move |_| {
+                total3.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 400);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn block_policy_runs_chunks_on_block_owners() {
+        let rt = Runtime::builder().worker_threads(4).build();
+        let owners = Arc::new(Mutex::new(vec![usize::MAX; 4]));
+        let owners2 = owners.clone();
+        let rt2 = rt.clone();
+        par(&rt).per_worker().block().run_chunked(4, move |r, ci| {
+            assert_eq!(r.len(), 1);
+            owners2.lock()[ci] = rt2.current_worker().unwrap();
+        });
+        assert_eq!(*owners.lock(), vec![0, 1, 2, 3]);
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,57 @@
+//! Error types for the runtime.
+
+use std::fmt;
+
+/// Errors surfaced by runtime, AGAS and parcel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The runtime has been shut down and cannot accept work.
+    RuntimeShutDown,
+    /// A global identifier did not resolve to a live object.
+    UnknownGid(u128),
+    /// The destination locality does not exist.
+    UnknownLocality(u32),
+    /// No action registered under this id.
+    UnknownAction(u32),
+    /// A component could not be downcast to the requested type.
+    ComponentTypeMismatch,
+    /// A migration failed (e.g. the component type was never registered
+    /// with a deserializer).
+    MigrationFailed(String),
+    /// Payload (de)serialization failed.
+    Serialization(String),
+    /// A promise was dropped without ever producing a value.
+    BrokenPromise,
+    /// The channel was closed while a receive was pending.
+    ChannelClosed,
+    /// A caller violated an API precondition.
+    InvalidArgument(String),
+    /// A task panicked; the payload's message if it was a string.
+    TaskPanicked(String),
+    /// A remote action failed; carries the remote error text.
+    RemoteError(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::RuntimeShutDown => write!(f, "runtime has been shut down"),
+            Error::UnknownGid(g) => write!(f, "unknown global id {g:#x}"),
+            Error::UnknownLocality(l) => write!(f, "unknown locality {l}"),
+            Error::UnknownAction(a) => write!(f, "unknown action id {a}"),
+            Error::ComponentTypeMismatch => write!(f, "component type mismatch"),
+            Error::MigrationFailed(m) => write!(f, "migration failed: {m}"),
+            Error::Serialization(m) => write!(f, "serialization error: {m}"),
+            Error::BrokenPromise => write!(f, "broken promise"),
+            Error::ChannelClosed => write!(f, "channel closed"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::TaskPanicked(m) => write!(f, "task panicked: {m}"),
+            Error::RemoteError(m) => write!(f, "remote action failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, Error>;

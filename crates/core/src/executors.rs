@@ -1,0 +1,207 @@
+//! Executors: policies for *where* spawned work runs
+//! (HPX `hpx::execution` executors).
+//!
+//! The paper's NUMA story (Section VII-A) is built on two pieces: a block
+//! allocator that first-touches each block on the worker that will process
+//! it, and a **block executor** that always schedules a chunk on the worker
+//! owning its data. [`BlockExecutor`] is that executor: chunk `i` of `n`
+//! is pinned to worker `floor(i * workers / n)`, the same proportional map
+//! the block distribution uses, so data and compute stay co-located.
+
+use crate::runtime::Runtime;
+use crate::task::{Priority, ScheduleHint, Task};
+
+/// Something that can execute tasks.
+pub trait Executor: Send + Sync {
+    /// Submit a chunk task; `chunk_index` / `chunk_count` let placement-
+    /// aware executors pick a worker.
+    fn execute(&self, task: Task, chunk_index: usize, chunk_count: usize);
+    /// Parallel width this executor exposes (used by chunkers).
+    fn width(&self) -> usize;
+}
+
+/// Spawns into the runtime with no placement constraint; work stealing
+/// balances load (HPX `parallel_executor`).
+#[derive(Clone)]
+pub struct ParallelExecutor {
+    rt: Runtime,
+}
+
+impl ParallelExecutor {
+    /// Executor over all of `rt`'s workers.
+    pub fn new(rt: &Runtime) -> Self {
+        ParallelExecutor { rt: rt.clone() }
+    }
+}
+
+impl Executor for ParallelExecutor {
+    fn execute(&self, task: Task, _chunk_index: usize, _chunk_count: usize) {
+        self.rt.spawn_task(task);
+    }
+
+    fn width(&self) -> usize {
+        self.rt.workers()
+    }
+}
+
+/// Pins chunk `i` of `n` to the worker that owns block `i` of the data
+/// (HPX `block_executor` over `block_allocator`-placed data).
+#[derive(Clone)]
+pub struct BlockExecutor {
+    rt: Runtime,
+    workers: usize,
+}
+
+impl BlockExecutor {
+    /// Block executor over all of `rt`'s workers.
+    pub fn new(rt: &Runtime) -> Self {
+        let workers = rt.workers();
+        BlockExecutor { rt: rt.clone(), workers }
+    }
+
+    /// Which worker chunk `i` of `n` lands on: the proportional block map,
+    /// identical to [`crate::topology::block_ranges`]'s owner function.
+    pub fn worker_for(&self, chunk_index: usize, chunk_count: usize) -> usize {
+        if chunk_count <= 1 {
+            return 0;
+        }
+        (chunk_index * self.workers) / chunk_count
+    }
+}
+
+impl Executor for BlockExecutor {
+    fn execute(&self, task: Task, chunk_index: usize, chunk_count: usize) {
+        let w = self.worker_for(chunk_index, chunk_count).min(self.workers - 1);
+        self.rt.spawn_task(task.with_hint(ScheduleHint::Pinned(w)));
+    }
+
+    fn width(&self) -> usize {
+        self.workers
+    }
+}
+
+/// Runs tasks inline on the caller (HPX `sequenced_executor`).
+#[derive(Clone, Copy, Default)]
+pub struct SequencedExecutor;
+
+impl Executor for SequencedExecutor {
+    fn execute(&self, task: Task, _chunk_index: usize, _chunk_count: usize) {
+        task.run();
+    }
+
+    fn width(&self) -> usize {
+        1
+    }
+}
+
+/// An executor wrapper that raises every task to high priority (used for
+/// latency-critical chains, e.g. halo exchanges).
+pub struct HighPriorityExecutor<E>(pub E);
+
+impl<E: Executor> Executor for HighPriorityExecutor<E> {
+    fn execute(&self, task: Task, chunk_index: usize, chunk_count: usize) {
+        self.0.execute(task.with_priority(Priority::High), chunk_index, chunk_count);
+    }
+
+    fn width(&self) -> usize {
+        self.0.width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcos::latch::Latch;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn parallel_executor_runs_everything() {
+        let rt = Runtime::builder().worker_threads(2).build();
+        let ex = ParallelExecutor::new(&rt);
+        assert_eq!(ex.width(), 2);
+        let n = Arc::new(AtomicUsize::new(0));
+        let l = Latch::for_runtime(&rt, 16);
+        for i in 0..16 {
+            let n = n.clone();
+            let l = l.clone();
+            ex.execute(
+                Task::new(move || {
+                    n.fetch_add(1, Ordering::Relaxed);
+                    l.count_down(1);
+                }),
+                i,
+                16,
+            );
+        }
+        l.wait();
+        assert_eq!(n.load(Ordering::Relaxed), 16);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn block_executor_map_is_monotone_and_covers_all_workers() {
+        let rt = Runtime::builder().worker_threads(4).build();
+        let ex = BlockExecutor::new(&rt);
+        let owners: Vec<usize> = (0..8).map(|i| ex.worker_for(i, 8)).collect();
+        assert_eq!(owners, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn block_executor_pins_chunks() {
+        let rt = Runtime::builder().worker_threads(3).build();
+        let ex = BlockExecutor::new(&rt);
+        let l = Latch::for_runtime(&rt, 3);
+        let placements = Arc::new(parking_lot::Mutex::new(vec![usize::MAX; 3]));
+        for i in 0..3 {
+            let rt2 = rt.clone();
+            let l = l.clone();
+            let placements = placements.clone();
+            ex.execute(
+                Task::new(move || {
+                    placements.lock()[i] = rt2.current_worker().unwrap();
+                    l.count_down(1);
+                }),
+                i,
+                3,
+            );
+        }
+        l.wait();
+        assert_eq!(*placements.lock(), vec![0, 1, 2]);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn high_priority_wrapper_raises_priority() {
+        // Wrap a probe executor that records the submitted priorities.
+        use parking_lot::Mutex;
+        struct Probe(Arc<Mutex<Vec<crate::task::Priority>>>);
+        impl Executor for Probe {
+            fn execute(&self, task: Task, _i: usize, _n: usize) {
+                self.0.lock().push(task.priority);
+                task.run();
+            }
+            fn width(&self) -> usize {
+                1
+            }
+        }
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let ex = HighPriorityExecutor(Probe(log.clone()));
+        ex.execute(Task::new(|| {}), 0, 1);
+        ex.execute(Task::new(|| {}), 1, 2);
+        assert_eq!(ex.width(), 1);
+        assert_eq!(*log.lock(), vec![Priority::High, Priority::High]);
+    }
+
+    #[test]
+    fn sequenced_executor_runs_inline() {
+        let ex = SequencedExecutor;
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = ran.clone();
+        ex.execute(Task::new(move || { r.fetch_add(1, Ordering::Relaxed); }), 0, 1);
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "ran synchronously");
+        assert_eq!(ex.width(), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! N-input AND gate (HPX `hpx::lcos::local::and_gate`).
+//!
+//! Fires a future once all of its numbered inputs have been set — the LCO
+//! behind "start this time step once *both* halos arrived".
+
+use crate::error::Error;
+use crate::lcos::future::{Future, Promise};
+use crate::runtime::Runtime;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+struct GateState {
+    set: Vec<bool>,
+    remaining: usize,
+    promise: Option<Promise<()>>,
+}
+
+/// A one-shot AND gate over `n` inputs.
+#[derive(Clone)]
+pub struct AndGate {
+    state: Arc<Mutex<GateState>>,
+}
+
+impl AndGate {
+    /// Gate with `n` inputs whose output future was created detached.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> (AndGate, Future<()>) {
+        AndGate::make(n, Promise::new())
+    }
+
+    /// Gate whose output continuation is scheduled on `rt`.
+    pub fn for_runtime(rt: &Runtime, n: usize) -> (AndGate, Future<()>) {
+        AndGate::make(n, rt.make_promise())
+    }
+
+    fn make(n: usize, mut promise: Promise<()>) -> (AndGate, Future<()>) {
+        assert!(n > 0, "and-gate needs at least one input");
+        let future = promise.future();
+        let gate = AndGate {
+            state: Arc::new(Mutex::new(GateState {
+                set: vec![false; n],
+                remaining: n,
+                promise: Some(promise),
+            })),
+        };
+        (gate, future)
+    }
+
+    /// Set input `i`. Returns an error if `i` was already set (double
+    /// arrival indicates a protocol bug) or out of range.
+    pub fn set(&self, i: usize) -> crate::error::Result<()> {
+        let fire = {
+            let mut st = self.state.lock();
+            if i >= st.set.len() {
+                return Err(Error::InvalidArgument(format!(
+                    "and-gate input {i} out of range 0..{}",
+                    st.set.len()
+                )));
+            }
+            if st.set[i] {
+                return Err(Error::InvalidArgument(format!("and-gate input {i} set twice")));
+            }
+            st.set[i] = true;
+            st.remaining -= 1;
+            if st.remaining == 0 {
+                st.promise.take()
+            } else {
+                None
+            }
+        };
+        if let Some(p) = fire {
+            p.set_value(());
+        }
+        Ok(())
+    }
+
+    /// Inputs not yet set.
+    pub fn remaining(&self) -> usize {
+        self.state.lock().remaining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_when_all_inputs_set() {
+        let (g, f) = AndGate::new(3);
+        g.set(0).unwrap();
+        g.set(2).unwrap();
+        assert!(!f.is_ready());
+        assert_eq!(g.remaining(), 1);
+        g.set(1).unwrap();
+        assert!(f.is_ready());
+        f.get();
+    }
+
+    #[test]
+    fn double_set_is_an_error() {
+        let (g, _f) = AndGate::new(2);
+        g.set(0).unwrap();
+        assert!(g.set(0).is_err());
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let (g, _f) = AndGate::new(1);
+        assert!(g.set(5).is_err());
+    }
+
+    #[test]
+    fn gate_across_tasks() {
+        let rt = Runtime::builder().worker_threads(2).build();
+        let (g, f) = AndGate::for_runtime(&rt, 8);
+        for i in 0..8 {
+            let g = g.clone();
+            rt.spawn(move || {
+                g.set(i).unwrap();
+            });
+        }
+        f.get();
+        assert_eq!(g.remaining(), 0);
+        rt.shutdown();
+    }
+}

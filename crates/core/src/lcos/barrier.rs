@@ -1,0 +1,156 @@
+//! Reusable cyclic barrier (HPX `hpx::barrier`).
+
+use crate::runtime::{help_until, Core};
+use crate::runtime::Runtime;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A generation-counted barrier for a fixed number of participants.
+/// Reusable: after all participants arrive, the next round begins.
+#[derive(Clone)]
+pub struct Barrier {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    parties: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    core: Option<Arc<Core>>,
+}
+
+impl Barrier {
+    /// Detached barrier for `parties` participants.
+    ///
+    /// # Panics
+    /// Panics if `parties == 0`.
+    pub fn new(parties: usize) -> Barrier {
+        Barrier::make(parties, None)
+    }
+
+    /// Barrier whose waiters help-execute tasks of `rt`.
+    pub fn for_runtime(rt: &Runtime, parties: usize) -> Barrier {
+        Barrier::make(parties, Some(rt.core().clone()))
+    }
+
+    fn make(parties: usize, core: Option<Arc<Core>>) -> Barrier {
+        assert!(parties > 0, "barrier needs at least one party");
+        Barrier {
+            inner: Arc::new(Inner {
+                parties,
+                arrived: AtomicUsize::new(0),
+                generation: AtomicUsize::new(0),
+                core,
+            }),
+        }
+    }
+
+    /// Number of participants per round.
+    pub fn parties(&self) -> usize {
+        self.inner.parties
+    }
+
+    /// Current generation (completed rounds).
+    pub fn generation(&self) -> usize {
+        self.inner.generation.load(Ordering::Acquire)
+    }
+
+    /// Arrive and block until all `parties` have arrived this round.
+    /// Returns `true` for exactly one participant per round (the "leader",
+    /// like `std::sync::Barrier`).
+    pub fn arrive_and_wait(&self) -> bool {
+        let inner = &self.inner;
+        let gen = inner.generation.load(Ordering::Acquire);
+        let pos = inner.arrived.fetch_add(1, Ordering::AcqRel) + 1;
+        if pos == inner.parties {
+            // Leader: reset and open the next generation.
+            inner.arrived.store(0, Ordering::Release);
+            inner.generation.fetch_add(1, Ordering::AcqRel);
+            true
+        } else {
+            let inner2 = self.inner.clone();
+            help_until(self.inner.core.as_ref(), move || {
+                inner2.generation.load(Ordering::Acquire) != gen
+            });
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = Barrier::new(1);
+        for _ in 0..3 {
+            assert!(b.arrive_and_wait());
+        }
+        assert_eq!(b.generation(), 3);
+    }
+
+    #[test]
+    fn all_threads_cross_together() {
+        let b = Barrier::new(4);
+        let before = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let b = b.clone();
+                let before = before.clone();
+                std::thread::spawn(move || {
+                    before.fetch_add(1, Ordering::SeqCst);
+                    b.arrive_and_wait();
+                    // After the barrier everyone must see all arrivals.
+                    assert_eq!(before.load(Ordering::SeqCst), 4);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(b.generation(), 1);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_round() {
+        let b = Barrier::new(3);
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let b = b.clone();
+                let leaders = leaders.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..5 {
+                        if b.arrive_and_wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), 5);
+        assert_eq!(b.generation(), 5);
+    }
+
+    #[test]
+    fn barrier_among_runtime_tasks() {
+        let rt = Runtime::builder().worker_threads(4).build();
+        let b = Barrier::for_runtime(&rt, 4);
+        let fs: Vec<_> = (0..4)
+            .map(|i| {
+                let b = b.clone();
+                rt.async_task(move || {
+                    b.arrive_and_wait();
+                    i
+                })
+            })
+            .collect();
+        let sum: usize = crate::lcos::future::when_all(fs).get().into_iter().sum();
+        assert_eq!(sum, 6);
+        rt.shutdown();
+    }
+}

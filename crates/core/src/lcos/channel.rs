@@ -1,0 +1,254 @@
+//! Multi-producer multi-consumer channel with future-based receive
+//! (HPX `hpx::lcos::channel`).
+//!
+//! `recv` never blocks a thread: it returns a [`Future`] that is ready
+//! immediately if a value is buffered, and otherwise completes when a
+//! producer sends — the receiving continuation becomes a task. This is the
+//! LCO the paper's distributed 1D stencil uses to receive halo cells from
+//! neighbouring localities while the interior computes.
+
+use crate::error::{Error, Result};
+use crate::lcos::future::{Future, Promise};
+use crate::runtime::Runtime;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+struct ChannelState<T: Send + 'static> {
+    queue: VecDeque<T>,
+    waiters: VecDeque<Promise<T>>,
+    closed: bool,
+}
+
+/// An unbounded MPMC channel.
+///
+/// ```
+/// use parallex::prelude::*;
+///
+/// let rt = Runtime::builder().worker_threads(2).build();
+/// let ch: Channel<u32> = Channel::for_runtime(&rt);
+/// let tx = ch.clone();
+/// rt.spawn(move || tx.send(41).unwrap());
+/// assert_eq!(ch.recv().get(), 41);
+/// rt.shutdown();
+/// ```
+pub struct Channel<T: Send + 'static> {
+    state: Arc<Mutex<ChannelState<T>>>,
+    runtime: Option<Runtime>,
+}
+
+impl<T: Send + 'static> Clone for Channel<T> {
+    fn clone(&self) -> Self {
+        Channel { state: self.state.clone(), runtime: self.runtime.clone() }
+    }
+}
+
+impl<T: Send + 'static> Channel<T> {
+    /// Detached channel: receive-continuations run inline on the sender.
+    pub fn new() -> Channel<T> {
+        Channel {
+            state: Arc::new(Mutex::new(ChannelState {
+                queue: VecDeque::new(),
+                waiters: VecDeque::new(),
+                closed: false,
+            })),
+            runtime: None,
+        }
+    }
+
+    /// Channel whose receive-continuations are scheduled on `rt`.
+    pub fn for_runtime(rt: &Runtime) -> Channel<T> {
+        let mut c = Channel::new();
+        c.runtime = Some(rt.clone());
+        c
+    }
+
+    fn make_promise(&self) -> Promise<T> {
+        match &self.runtime {
+            Some(rt) => rt.make_promise(),
+            None => Promise::new(),
+        }
+    }
+
+    /// Send a value. Delivers directly to the oldest waiting receiver if
+    /// one exists, else buffers.
+    ///
+    /// Returns [`Error::ChannelClosed`] if the channel was closed.
+    pub fn send(&self, v: T) -> Result<()> {
+        let waiter = {
+            let mut st = self.state.lock();
+            if st.closed {
+                return Err(Error::ChannelClosed);
+            }
+            match st.waiters.pop_front() {
+                Some(w) => Some((w, v)),
+                None => {
+                    st.queue.push_back(v);
+                    None
+                }
+            }
+        };
+        if let Some((p, v)) = waiter {
+            p.set_value(v);
+        }
+        Ok(())
+    }
+
+    /// Receive as a future.
+    pub fn recv(&self) -> Future<T> {
+        let mut st = self.state.lock();
+        if let Some(v) = st.queue.pop_front() {
+            drop(st);
+            let mut p = self.make_promise();
+            let f = p.future();
+            p.set_value(v);
+            return f;
+        }
+        if st.closed {
+            drop(st);
+            let mut p = self.make_promise();
+            let f = p.future();
+            p.set_error(Error::ChannelClosed);
+            return f;
+        }
+        let mut p = self.make_promise();
+        let f = p.future();
+        st.waiters.push_back(p);
+        f
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.state.lock().queue.pop_front()
+    }
+
+    /// Buffered item count.
+    pub fn len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// Whether no items are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Close: pending and future receivers observe [`Error::ChannelClosed`];
+    /// already-buffered values can still be drained with `try_recv`.
+    pub fn close(&self) {
+        let waiters: Vec<Promise<T>> = {
+            let mut st = self.state.lock();
+            st.closed = true;
+            st.waiters.drain(..).collect()
+        };
+        for p in waiters {
+            p.set_error(Error::ChannelClosed);
+        }
+    }
+}
+
+impl<T: Send + 'static> Default for Channel<T> {
+    fn default() -> Self {
+        Channel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffered_send_then_recv() {
+        let c = Channel::new();
+        c.send(1).unwrap();
+        c.send(2).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.recv().get(), 1);
+        assert_eq!(c.recv().get(), 2);
+    }
+
+    #[test]
+    fn recv_before_send_completes_later() {
+        let c = Channel::new();
+        let f = c.recv();
+        assert!(!f.is_ready());
+        c.send(42).unwrap();
+        assert_eq!(f.get(), 42);
+    }
+
+    #[test]
+    fn waiters_are_fifo() {
+        let c = Channel::new();
+        let f1 = c.recv();
+        let f2 = c.recv();
+        c.send(1).unwrap();
+        c.send(2).unwrap();
+        assert_eq!(f1.get(), 1);
+        assert_eq!(f2.get(), 2);
+    }
+
+    #[test]
+    fn try_recv_on_empty() {
+        let c: Channel<i32> = Channel::new();
+        assert!(c.try_recv().is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn close_rejects_send_and_fails_waiters() {
+        let c: Channel<i32> = Channel::new();
+        let pending = c.recv();
+        c.close();
+        assert_eq!(pending.try_get(), Err(Error::ChannelClosed));
+        assert_eq!(c.send(1), Err(Error::ChannelClosed));
+        assert_eq!(c.recv().try_get(), Err(Error::ChannelClosed));
+    }
+
+    #[test]
+    fn close_keeps_buffered_values_drainable() {
+        let c = Channel::new();
+        c.send(7).unwrap();
+        c.close();
+        assert_eq!(c.try_recv(), Some(7));
+    }
+
+    #[test]
+    fn cross_task_pipeline() {
+        let rt = Runtime::builder().worker_threads(2).build();
+        let c = Channel::for_runtime(&rt);
+        let c2 = c.clone();
+        rt.spawn(move || {
+            for i in 0..100 {
+                c2.send(i).unwrap();
+            }
+        });
+        let sum: i64 = (0..100).map(|_| c.recv().get()).sum();
+        assert_eq!(sum, 4950);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn mpmc_many_producers_many_consumers() {
+        let c = Channel::new();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        c.send(p * 50 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || -> i64 { (0..50).map(|_| c.recv().get() as i64).sum() })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let total: i64 = consumers.into_iter().map(|t| t.join().unwrap()).sum();
+        assert_eq!(total, (0..200).sum::<i64>());
+    }
+}

@@ -1,0 +1,158 @@
+//! Count-down latch (HPX `hpx::latch`).
+//!
+//! The parallel algorithms use a latch to join their chunk tasks: each
+//! chunk counts down once, and the caller's `wait` help-executes queued
+//! tasks (including those very chunks) until the count hits zero.
+
+use crate::runtime::{help_until, Core};
+use crate::runtime::Runtime;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A one-shot count-down latch.
+///
+/// ```
+/// use parallex::prelude::*;
+///
+/// let rt = Runtime::builder().worker_threads(2).build();
+/// let latch = Latch::for_runtime(&rt, 3);
+/// for _ in 0..3 {
+///     let l = latch.clone();
+///     rt.spawn(move || l.count_down(1));
+/// }
+/// latch.wait();
+/// assert!(latch.is_ready());
+/// rt.shutdown();
+/// ```
+#[derive(Clone)]
+pub struct Latch {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    count: AtomicUsize,
+    core: Option<Arc<Core>>,
+}
+
+impl Latch {
+    /// Detached latch: waiters spin/yield instead of help-executing.
+    pub fn new(count: usize) -> Latch {
+        Latch { inner: Arc::new(Inner { count: AtomicUsize::new(count), core: None }) }
+    }
+
+    /// Latch whose waiters help-execute tasks of `rt` while blocked.
+    pub fn for_runtime(rt: &Runtime, count: usize) -> Latch {
+        Latch {
+            inner: Arc::new(Inner {
+                count: AtomicUsize::new(count),
+                core: Some(rt.core().clone()),
+            }),
+        }
+    }
+
+    /// Decrement by `n`.
+    ///
+    /// # Panics
+    /// Panics if the latch would go below zero.
+    pub fn count_down(&self, n: usize) {
+        let prev = self.inner.count.fetch_sub(n, Ordering::AcqRel);
+        assert!(prev >= n, "latch underflow: {prev} - {n}");
+    }
+
+    /// Whether the count has reached zero.
+    pub fn is_ready(&self) -> bool {
+        self.inner.count.load(Ordering::Acquire) == 0
+    }
+
+    /// Current count (diagnostics).
+    pub fn count(&self) -> usize {
+        self.inner.count.load(Ordering::Acquire)
+    }
+
+    /// Block until the count reaches zero.
+    pub fn wait(&self) {
+        let inner = self.inner.clone();
+        help_until(self.inner.core.as_ref(), move || {
+            inner.count.load(Ordering::Acquire) == 0
+        });
+    }
+
+    /// `count_down(1)` then `wait()` (HPX `arrive_and_wait`).
+    pub fn arrive_and_wait(&self) {
+        self.count_down(1);
+        self.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_down_to_ready() {
+        let l = Latch::new(3);
+        assert!(!l.is_ready());
+        l.count_down(2);
+        assert_eq!(l.count(), 1);
+        l.count_down(1);
+        assert!(l.is_ready());
+        l.wait(); // returns immediately
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let l = Latch::new(1);
+        l.count_down(2);
+    }
+
+    #[test]
+    fn wait_blocks_until_other_thread_arrives() {
+        let l = Latch::new(1);
+        let l2 = l.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            l2.count_down(1);
+        });
+        l.wait();
+        assert!(l.is_ready());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn latch_joins_runtime_tasks() {
+        let rt = Runtime::builder().worker_threads(2).build();
+        let l = Latch::for_runtime(&rt, 10);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let l = l.clone();
+            let hits = hits.clone();
+            rt.spawn(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+                l.count_down(1);
+            });
+        }
+        l.wait();
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn wait_from_worker_helps_instead_of_deadlocking() {
+        // One worker: the waiting task must execute the counting tasks
+        // itself while blocked on the latch.
+        let rt = Runtime::builder().worker_threads(1).build();
+        let rt2 = rt.clone();
+        let f = rt.async_task(move || {
+            let l = Latch::for_runtime(&rt2, 4);
+            for _ in 0..4 {
+                let l = l.clone();
+                rt2.spawn(move || l.count_down(1));
+            }
+            l.wait();
+            true
+        });
+        assert!(f.get());
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,33 @@
+//! Local Control Objects (LCOs).
+//!
+//! In ParalleX every synchronization point is a first-class object that
+//! *receives events and spawns work* rather than blocking a thread: a
+//! future completes and its continuation becomes a new task; a latch
+//! reaching zero releases its waiters; a channel delivers a value to a
+//! parked receiver by fulfilling a promise. This is the "lightweight
+//! synchronization mechanisms" pillar of the model (Section III-A of the
+//! paper) and what lets a stencil time step start the moment its
+//! neighbours' halos arrive instead of at a global barrier.
+//!
+//! Provided LCOs:
+//!
+//! * [`future::Promise`] / [`future::Future`] with `then`, [`future::when_all`],
+//!   [`future::when_any`]
+//! * [`dataflow`] — run a function when all its future arguments are ready
+//! * [`latch::Latch`], [`barrier::Barrier`]
+//! * [`channel::Channel`] — multi-producer multi-consumer with futures-based
+//!   receive
+//! * [`semaphore::Semaphore`], [`mutex::AsyncMutex`], [`and_gate::AndGate`]
+//!
+//! Waits issued from runtime workers help-execute other tasks (see
+//! [`crate::runtime`]), so none of these primitives can deadlock a pool by
+//! parking all its OS threads.
+
+pub mod and_gate;
+pub mod barrier;
+pub mod channel;
+pub mod dataflow;
+pub mod future;
+pub mod latch;
+pub mod mutex;
+pub mod semaphore;

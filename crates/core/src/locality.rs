@@ -1,0 +1,638 @@
+//! Localities and clusters: the distributed-memory layer.
+//!
+//! An HPX *locality* is one node of the cluster: its own thread pool,
+//! component storage and parcelport, sharing a global AGAS view. A
+//! [`Cluster`] instantiates several localities inside one process — the
+//! substrate on which the paper's distributed 1D stencil (Fig. 3) runs —
+//! and routes [`crate::parcel::Parcel`]s between them, optionally through
+//! a [`crate::parcel::DelayFn`] modeling the interconnect.
+
+use crate::agas::{AgasService, ComponentStore, Gid, MigrationRegistry};
+use crate::error::{Error, Result};
+use crate::lcos::future::{Future, Promise};
+use crate::parcel::{
+    serialize, ActionFn, ActionId, ActionRegistry, DelayFn, Parcel, TimerWheel, RESPONSE_ACTION,
+};
+use crate::runtime::Runtime;
+use crate::sched::SchedulerPolicy;
+use crate::task::{Priority, Task};
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// One simulated node: runtime + component store + parcel endpoints.
+pub struct Locality {
+    id: u32,
+    runtime: Runtime,
+    components: ComponentStore,
+    cluster: RwLock<Weak<ClusterShared>>,
+    pending: Mutex<HashMap<u64, Promise<Vec<u8>>>>,
+    next_token: AtomicU64,
+}
+
+impl Locality {
+    /// This locality's rank.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The locality's task runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// Local component storage.
+    pub fn components(&self) -> &ComponentStore {
+        &self.components
+    }
+
+    fn shared(&self) -> Result<Arc<ClusterShared>> {
+        self.cluster
+            .read()
+            .upgrade()
+            .ok_or(Error::RuntimeShutDown)
+    }
+
+    /// Fire-and-forget remote action (HPX `hpx::apply`): ships `arg` to the
+    /// locality owning `gid` and runs the action there.
+    pub fn apply<A: Serialize>(&self, gid: Gid, action: ActionId, arg: &A) -> Result<()> {
+        let shared = self.shared()?;
+        let dest_locality = shared.agas.resolve(gid)?;
+        let parcel = Parcel {
+            source: self.id,
+            dest_locality,
+            dest: gid,
+            action,
+            payload: Bytes::from(serialize::to_bytes(arg)?),
+            response_token: None,
+        };
+        self.runtime.counters().parcels_sent.fetch_add(1, Ordering::Relaxed);
+        ClusterShared::send(&shared, parcel);
+        Ok(())
+    }
+
+    /// Remote action returning the handler's raw response bytes
+    /// (HPX `hpx::async` on an action).
+    pub fn async_action_raw<A: Serialize>(
+        &self,
+        gid: Gid,
+        action: ActionId,
+        arg: &A,
+    ) -> Result<Future<Vec<u8>>> {
+        let shared = self.shared()?;
+        let dest_locality = shared.agas.resolve(gid)?;
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let mut promise = self.runtime.make_promise();
+        let future = promise.future();
+        self.pending.lock().insert(token, promise);
+        let parcel = Parcel {
+            source: self.id,
+            dest_locality,
+            dest: gid,
+            action,
+            payload: Bytes::from(serialize::to_bytes(arg)?),
+            response_token: Some(token),
+        };
+        self.runtime.counters().parcels_sent.fetch_add(1, Ordering::Relaxed);
+        ClusterShared::send(&shared, parcel);
+        Ok(future)
+    }
+
+    /// Typed remote call: serializes `arg`, runs the action remotely,
+    /// deserializes its response as `R`.
+    pub fn call<A: Serialize, R: DeserializeOwned + Send + 'static>(
+        &self,
+        gid: Gid,
+        action: ActionId,
+        arg: &A,
+    ) -> Result<Future<R>> {
+        Ok(self.async_action_raw(gid, action, arg)?.then(|bytes| {
+            serialize::from_bytes::<R>(&bytes).expect("response payload decodes as R")
+        }))
+    }
+
+    fn complete_response(&self, token: u64, result: std::result::Result<Vec<u8>, String>) {
+        let promise = self.pending.lock().remove(&token);
+        if let Some(p) = promise {
+            match result {
+                Ok(bytes) => p.set_value(bytes),
+                Err(msg) => p.set_error(Error::RemoteError(msg)),
+            }
+        }
+    }
+}
+
+pub(crate) struct ClusterShared {
+    localities: Vec<Arc<Locality>>,
+    agas: AgasService,
+    actions: ActionRegistry,
+    migration: MigrationRegistry,
+    timer: TimerWheel,
+    delay: RwLock<Option<DelayFn>>,
+    /// One "system" component per locality: the target GID for
+    /// locality-wide (collective) actions.
+    system_gids: Vec<Gid>,
+}
+
+/// Marker component representing "the locality itself" — the target of
+/// collective actions like [`Cluster::broadcast`].
+pub struct SystemComponent;
+
+impl ClusterShared {
+    fn send(self: &Arc<Self>, parcel: Parcel) {
+        let delay = self.delay.read().as_ref().map(|d| d(&parcel));
+        match delay {
+            Some(d) if d > Duration::ZERO => {
+                let weak = Arc::downgrade(self);
+                self.timer.schedule(d, move || {
+                    if let Some(shared) = weak.upgrade() {
+                        ClusterShared::deliver(&shared, parcel);
+                    }
+                });
+            }
+            _ => ClusterShared::deliver(self, parcel),
+        }
+    }
+
+    fn deliver(self: &Arc<Self>, parcel: Parcel) {
+        let Some(dest) = self.localities.get(parcel.dest_locality as usize).cloned() else {
+            eprintln!("parallex: dropping parcel to unknown locality {}", parcel.dest_locality);
+            return;
+        };
+        let shared = self.clone();
+        let dest2 = dest.clone();
+        let task = Task::new(move || {
+            shared.handle(dest2.clone(), parcel);
+        })
+        .with_priority(Priority::High);
+        dest.runtime.spawn_task(task);
+    }
+
+    fn handle(self: &Arc<Self>, dest: Arc<Locality>, parcel: Parcel) {
+        dest.runtime
+            .counters()
+            .parcels_received
+            .fetch_add(1, Ordering::Relaxed);
+        if parcel.action == RESPONSE_ACTION {
+            let token = parcel.response_token.expect("response parcels carry a token");
+            let result: std::result::Result<Vec<u8>, String> =
+                serialize::from_bytes(&parcel.payload).unwrap_or_else(|e| Err(e.to_string()));
+            dest.complete_response(token, result);
+            return;
+        }
+        let outcome: std::result::Result<Vec<u8>, String> = match self.actions.get(parcel.action) {
+            Ok(handler) => run_handler(&handler, &dest, parcel.dest, &parcel.payload),
+            Err(e) => Err(e.to_string()),
+        };
+        if let Some(token) = parcel.response_token {
+            let payload = serialize::to_bytes(&outcome).expect("Result<Vec<u8>,String> serializes");
+            let response = Parcel {
+                source: parcel.dest_locality,
+                dest_locality: parcel.source,
+                dest: parcel.dest,
+                action: RESPONSE_ACTION,
+                payload: Bytes::from(payload),
+                response_token: Some(token),
+            };
+            ClusterShared::send(self, response);
+        }
+    }
+}
+
+fn run_handler(
+    handler: &ActionFn,
+    dest: &Arc<Locality>,
+    gid: Gid,
+    payload: &[u8],
+) -> std::result::Result<Vec<u8>, String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(dest, gid, payload))) {
+        Ok(Ok(bytes)) => Ok(bytes),
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(p) => Err(format!("action panicked: {}", crate::util::panic_message(&*p))),
+    }
+}
+
+/// A set of localities sharing an AGAS and exchanging parcels — one
+/// in-process "cluster".
+#[derive(Clone)]
+pub struct Cluster {
+    shared: Arc<ClusterShared>,
+}
+
+impl Cluster {
+    /// Build a cluster of `localities` nodes with `threads_each` workers
+    /// per locality.
+    pub fn new(localities: usize, threads_each: usize) -> Cluster {
+        Cluster::with_scheduler(localities, threads_each, SchedulerPolicy::LocalPriority)
+    }
+
+    /// [`Cluster::new`] with an explicit scheduling policy per locality.
+    pub fn with_scheduler(
+        localities: usize,
+        threads_each: usize,
+        policy: SchedulerPolicy,
+    ) -> Cluster {
+        assert!(localities > 0, "need at least one locality");
+        let locs: Vec<Arc<Locality>> = (0..localities as u32)
+            .map(|id| {
+                Arc::new(Locality {
+                    id,
+                    runtime: Runtime::builder()
+                        .worker_threads(threads_each)
+                        .scheduler(policy)
+                        .thread_name(format!("loc{id}"))
+                        .build(),
+                    components: ComponentStore::new(),
+                    cluster: RwLock::new(Weak::new()),
+                    pending: Mutex::new(HashMap::new()),
+                    next_token: AtomicU64::new(1),
+                })
+            })
+            .collect();
+        let agas = AgasService::new();
+        let system_gids: Vec<Gid> = (0..locs.len())
+            .map(|i| {
+                let gid = agas.allocate(i as u32);
+                locs[i].components.insert(gid, SystemComponent);
+                gid
+            })
+            .collect();
+        let shared = Arc::new(ClusterShared {
+            localities: locs,
+            agas,
+            actions: ActionRegistry::new(),
+            migration: MigrationRegistry::new(),
+            timer: TimerWheel::new(),
+            delay: RwLock::new(None),
+            system_gids,
+        });
+        for loc in &shared.localities {
+            *loc.cluster.write() = Arc::downgrade(&shared);
+        }
+        Cluster { shared }
+    }
+
+    /// Number of localities.
+    pub fn len(&self) -> usize {
+        self.shared.localities.len()
+    }
+
+    /// Whether the cluster has no localities (never true; see
+    /// [`Cluster::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.shared.localities.is_empty()
+    }
+
+    /// Get locality `i`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn locality(&self, i: usize) -> Arc<Locality> {
+        self.shared.localities[i].clone()
+    }
+
+    /// All localities.
+    pub fn localities(&self) -> &[Arc<Locality>] {
+        &self.shared.localities
+    }
+
+    /// The shared AGAS directory.
+    pub fn agas(&self) -> &AgasService {
+        &self.shared.agas
+    }
+
+    /// Register an action handler cluster-wide.
+    pub fn register_action(
+        &self,
+        id: ActionId,
+        name: &'static str,
+        f: impl Fn(&Arc<Locality>, Gid, &[u8]) -> Result<Vec<u8>> + Send + Sync + 'static,
+    ) {
+        self.shared.actions.register(id, name, f);
+    }
+
+    /// Install a per-parcel network delay model (None of delay ⇒ immediate
+    /// shared-memory delivery).
+    pub fn set_network_delay(&self, f: DelayFn) {
+        *self.shared.delay.write() = Some(f);
+    }
+
+    /// Remove the network delay model.
+    pub fn clear_network_delay(&self) {
+        *self.shared.delay.write() = None;
+    }
+
+    /// Register `T` as migratable (required before [`Cluster::migrate`]).
+    pub fn register_migratable<T>(&self)
+    where
+        T: Serialize + DeserializeOwned + Send + Sync + 'static,
+    {
+        self.shared.migration.register::<T>();
+    }
+
+    /// Create a component on `locality` and register it in AGAS.
+    pub fn new_component<T: Send + Sync + 'static>(&self, locality: usize, obj: T) -> Gid {
+        let gid = self.shared.agas.allocate(locality as u32);
+        self.shared.localities[locality].components.insert(gid, obj);
+        gid
+    }
+
+    /// Read a component wherever it lives (shared-memory shortcut; remote
+    /// reads in a real cluster would be an action).
+    pub fn get_component<T: Send + Sync + 'static>(&self, gid: Gid) -> Result<Arc<T>> {
+        let loc = self.shared.agas.resolve(gid)?;
+        self.shared.localities[loc as usize].components.get(gid)
+    }
+
+    /// Move a component to another locality, keeping its GID valid — the
+    /// AGAS migration the paper's Section III-B describes.
+    pub fn migrate(&self, gid: Gid, dest: usize) -> Result<()> {
+        if dest >= self.len() {
+            return Err(Error::UnknownLocality(dest as u32));
+        }
+        let src = self.shared.agas.resolve(gid)?;
+        if src as usize == dest {
+            return Ok(());
+        }
+        let store = &self.shared.localities[src as usize].components;
+        let (obj, type_name) = store.take(gid)?;
+        let bytes = match self.shared.migration.serialize(type_name, obj.as_ref()) {
+            Ok(b) => b,
+            Err(e) => {
+                // Roll back: the object stays where it was.
+                self.shared.localities[src as usize]
+                    .components
+                    .insert_any(gid, obj, type_name);
+                return Err(e);
+            }
+        };
+        let rebuilt = self.shared.migration.deserialize(type_name, &bytes)?;
+        self.shared.localities[dest]
+            .components
+            .insert_any(gid, rebuilt, type_name);
+        self.shared.agas.rebind(gid, dest as u32)?;
+        Ok(())
+    }
+
+    /// The system GID of a locality — the target for locality-wide
+    /// actions.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn system_gid(&self, locality: usize) -> Gid {
+        self.shared.system_gids[locality]
+    }
+
+    /// Collective: run `action` on *every* locality (rooted at locality 0)
+    /// and gather the decoded results in locality order — an HPX
+    /// `broadcast`/`gather` over parcels.
+    pub fn broadcast<A, R>(&self, action: ActionId, arg: &A) -> Result<crate::lcos::future::Future<Vec<R>>>
+    where
+        A: Serialize,
+        R: DeserializeOwned + Send + 'static,
+    {
+        let root = self.locality(0);
+        let futures = (0..self.len())
+            .map(|i| root.call::<A, R>(self.system_gid(i), action, arg))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(crate::lcos::future::when_all(futures))
+    }
+
+    /// Collective: [`Cluster::broadcast`] then fold the per-locality
+    /// results with `op` — an all-reduce as seen from the caller.
+    pub fn reduce_all<A, R>(
+        &self,
+        action: ActionId,
+        arg: &A,
+        op: impl Fn(R, R) -> R + Send + 'static,
+    ) -> Result<crate::lcos::future::Future<R>>
+    where
+        A: Serialize,
+        R: DeserializeOwned + Send + 'static,
+    {
+        Ok(self.broadcast::<A, R>(action, arg)?.then(move |vals| {
+            vals.into_iter()
+                .reduce(&op)
+                .expect("clusters have at least one locality")
+        }))
+    }
+
+    /// Block until every locality's runtime is idle.
+    pub fn wait_idle(&self) {
+        loop {
+            for loc in &self.shared.localities {
+                loc.runtime.wait_idle();
+            }
+            // Parcels in the timer wheel may spawn more work when they
+            // land; only stop once nothing is pending anywhere.
+            let busy = self.shared.timer.pending() > 0
+                || self
+                    .shared
+                    .localities
+                    .iter()
+                    .any(|l| l.runtime.outstanding() > 0);
+            if !busy {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+
+    /// Shut down all localities' runtimes.
+    pub fn shutdown(&self) {
+        for loc in &self.shared.localities {
+            loc.runtime.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ECHO: ActionId = 1;
+    const ADD_TO: ActionId = 2;
+    const WHERE_AM_I: ActionId = 3;
+
+    fn cluster() -> Cluster {
+        let c = Cluster::new(3, 2);
+        c.register_action(ECHO, "echo", |_, _, payload| Ok(payload.to_vec()));
+        c.register_action(ADD_TO, "add_to", |loc, gid, payload| {
+            let x: i64 = serialize::from_bytes(payload)?;
+            let cell = loc.components().get::<Mutex<i64>>(gid)?;
+            let mut g = cell.lock();
+            *g += x;
+            serialize::to_bytes(&*g)
+        });
+        c.register_action(WHERE_AM_I, "where_am_i", |loc, _, _| {
+            serialize::to_bytes(&loc.id())
+        });
+        c
+    }
+
+    #[test]
+    fn echo_roundtrip_between_localities() {
+        let c = cluster();
+        let gid = c.new_component(2, ());
+        let f = c
+            .locality(0)
+            .call::<String, String>(gid, ECHO, &"hello".to_string())
+            .unwrap();
+        assert_eq!(f.get(), "hello");
+        c.shutdown();
+    }
+
+    #[test]
+    fn action_runs_at_the_data() {
+        let c = cluster();
+        let gid = c.new_component(1, ());
+        let f = c.locality(0).call::<(), u32>(gid, WHERE_AM_I, &()).unwrap();
+        assert_eq!(f.get(), 1, "action must execute on the owning locality");
+        c.shutdown();
+    }
+
+    #[test]
+    fn apply_fire_and_forget_mutates_component() {
+        let c = cluster();
+        let gid = c.new_component(1, Mutex::new(0i64));
+        for _ in 0..10 {
+            c.locality(0).apply(gid, ADD_TO, &5i64).unwrap();
+        }
+        c.wait_idle();
+        let cell = c.get_component::<Mutex<i64>>(gid).unwrap();
+        assert_eq!(*cell.lock(), 50);
+        c.shutdown();
+    }
+
+    #[test]
+    fn unknown_action_surfaces_as_remote_error() {
+        let c = cluster();
+        let gid = c.new_component(0, ());
+        let f = c.locality(1).call::<(), ()>(gid, 99, &()).unwrap();
+        assert!(matches!(f.try_get(), Err(Error::RemoteError(_))));
+        c.shutdown();
+    }
+
+    #[test]
+    fn panicking_action_surfaces_as_remote_error() {
+        let c = cluster();
+        c.register_action(50, "boom", |_, _, _| panic!("kaboom"));
+        let gid = c.new_component(0, ());
+        let f = c.locality(1).async_action_raw(gid, 50, &()).unwrap();
+        match f.try_get() {
+            Err(Error::RemoteError(m)) => assert!(m.contains("kaboom")),
+            other => panic!("{other:?}"),
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn migration_preserves_gid_and_state() {
+        let c = cluster();
+        c.register_migratable::<Vec<f64>>();
+        let gid = c.new_component(0, vec![1.0f64, 2.0, 3.0]);
+        assert_eq!(c.agas().resolve(gid).unwrap(), 0);
+        c.migrate(gid, 2).unwrap();
+        assert_eq!(c.agas().resolve(gid).unwrap(), 2);
+        let v = c.get_component::<Vec<f64>>(gid).unwrap();
+        assert_eq!(*v, vec![1.0, 2.0, 3.0]);
+        assert!(c.locality(2).components().contains(gid));
+        assert!(!c.locality(0).components().contains(gid));
+        c.shutdown();
+    }
+
+    #[test]
+    fn migrating_unregistered_type_fails_and_rolls_back() {
+        let c = cluster();
+        let gid = c.new_component(0, Mutex::new(1i64));
+        assert!(c.migrate(gid, 1).is_err());
+        assert_eq!(c.agas().resolve(gid).unwrap(), 0, "stays at source");
+        assert!(c.locality(0).components().contains(gid), "rolled back");
+        c.shutdown();
+    }
+
+    #[test]
+    fn actions_follow_migrated_components() {
+        let c = cluster();
+        c.register_migratable::<Vec<f64>>();
+        let gid = c.new_component(0, ());
+        // WHERE_AM_I reports the executing locality, which must track the
+        // component's residence.
+        c.register_migratable::<()>();
+        let f = c.locality(1).call::<(), u32>(gid, WHERE_AM_I, &()).unwrap();
+        assert_eq!(f.get(), 0);
+        c.migrate(gid, 2).unwrap();
+        let f = c.locality(1).call::<(), u32>(gid, WHERE_AM_I, &()).unwrap();
+        assert_eq!(f.get(), 2);
+        c.shutdown();
+    }
+
+    #[test]
+    fn delayed_parcels_still_arrive() {
+        let c = cluster();
+        c.set_network_delay(Arc::new(|_p| Duration::from_millis(2)));
+        let gid = c.new_component(1, ());
+        let t = crate::util::HighResolutionTimer::new();
+        let f = c
+            .locality(0)
+            .call::<String, String>(gid, ECHO, &"delayed".to_string())
+            .unwrap();
+        assert_eq!(f.get(), "delayed");
+        // Request + response each pay the delay.
+        assert!(t.elapsed() >= 0.004, "{}", t.elapsed());
+        c.shutdown();
+    }
+
+    #[test]
+    fn parcel_counters_advance() {
+        let c = cluster();
+        let gid = c.new_component(1, ());
+        let f = c.locality(0).call::<(), u32>(gid, WHERE_AM_I, &()).unwrap();
+        f.get();
+        let sent = c.locality(0).runtime().counters().parcels_sent.load(Ordering::Relaxed);
+        assert!(sent >= 1);
+        c.shutdown();
+    }
+
+    #[test]
+    fn broadcast_reaches_every_locality() {
+        let c = cluster();
+        let ids: Vec<u32> = c.broadcast::<(), u32>(WHERE_AM_I, &()).unwrap().get();
+        assert_eq!(ids, vec![0, 1, 2]);
+        c.shutdown();
+    }
+
+    #[test]
+    fn reduce_all_folds_results() {
+        let c = cluster();
+        let sum = c
+            .reduce_all::<(), u32>(WHERE_AM_I, &(), |a, b| a + b)
+            .unwrap()
+            .get();
+        assert_eq!(sum, 0 + 1 + 2);
+        c.shutdown();
+    }
+
+    #[test]
+    fn system_gids_resolve_to_their_locality() {
+        let c = cluster();
+        for i in 0..c.len() {
+            assert_eq!(c.agas().resolve(c.system_gid(i)).unwrap(), i as u32);
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn self_send_works() {
+        let c = cluster();
+        let gid = c.new_component(0, ());
+        let f = c.locality(0).call::<(), u32>(gid, WHERE_AM_I, &()).unwrap();
+        assert_eq!(f.get(), 0);
+        c.shutdown();
+    }
+}

@@ -1,0 +1,675 @@
+//! Compact binary serialization for parcel payloads.
+//!
+//! HPX ships its own serialization archive for parcel contents; this is
+//! ours: a non-self-describing little-endian binary format driven by the
+//! serde data model (bincode-style). Fixed-width integers and floats are
+//! stored raw; sequences, maps, strings and bytes carry a `u64` length
+//! prefix; enum variants carry a `u32` variant index; options carry a
+//! one-byte tag. `deserialize_any` is unsupported by construction (the
+//! reader must know the static type, exactly like HPX archives).
+
+use crate::error::Error;
+use serde::de::{DeserializeOwned, IntoDeserializer};
+use serde::{de, ser, Serialize};
+use std::fmt::Display;
+
+/// Serialize a value to bytes.
+pub fn to_bytes<T: Serialize>(value: &T) -> crate::error::Result<Vec<u8>> {
+    let mut ser = BinSerializer { out: Vec::new() };
+    value
+        .serialize(&mut ser)
+        .map_err(|e| Error::Serialization(e.to_string()))?;
+    Ok(ser.out)
+}
+
+/// Deserialize a value from bytes produced by [`to_bytes`].
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> crate::error::Result<T> {
+    let mut de = BinDeserializer { input: bytes };
+    let v = T::deserialize(&mut de).map_err(|e| Error::Serialization(e.to_string()))?;
+    if !de.input.is_empty() {
+        return Err(Error::Serialization(format!(
+            "{} trailing bytes after value",
+            de.input.len()
+        )));
+    }
+    Ok(v)
+}
+
+/// Serde error wrapper for this format.
+#[derive(Debug)]
+pub struct CodecError(String);
+
+impl Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl ser::Error for CodecError {
+    fn custom<T: Display>(msg: T) -> Self {
+        CodecError(msg.to_string())
+    }
+}
+
+impl de::Error for CodecError {
+    fn custom<T: Display>(msg: T) -> Self {
+        CodecError(msg.to_string())
+    }
+}
+
+struct BinSerializer {
+    out: Vec<u8>,
+}
+
+impl BinSerializer {
+    fn put_len(&mut self, len: usize) {
+        self.out.extend_from_slice(&(len as u64).to_le_bytes());
+    }
+}
+
+macro_rules! ser_fixed {
+    ($name:ident, $t:ty) => {
+        fn $name(self, v: $t) -> Result<(), CodecError> {
+            self.out.extend_from_slice(&v.to_le_bytes());
+            Ok(())
+        }
+    };
+}
+
+impl ser::Serializer for &mut BinSerializer {
+    type Ok = ();
+    type Error = CodecError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+
+    ser_fixed!(serialize_i8, i8);
+    ser_fixed!(serialize_i16, i16);
+    ser_fixed!(serialize_i32, i32);
+    ser_fixed!(serialize_i64, i64);
+    ser_fixed!(serialize_u8, u8);
+    ser_fixed!(serialize_u16, u16);
+    ser_fixed!(serialize_u32, u32);
+    ser_fixed!(serialize_u64, u64);
+    ser_fixed!(serialize_f32, f32);
+    ser_fixed!(serialize_f64, f64);
+
+    fn serialize_i128(self, v: i128) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_u128(self, v: u128) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), CodecError> {
+        self.serialize_u32(v as u32)
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), CodecError> {
+        self.out.push(0);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CodecError> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), CodecError> {
+        self.serialize_u32(variant_index)
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        self.serialize_u32(variant_index)?;
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or_else(|| ser::Error::custom("sequences must have a known length"))?;
+        self.put_len(len);
+        Ok(self)
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        self.serialize_u32(variant_index)?;
+        Ok(self)
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or_else(|| ser::Error::custom("maps must have a known length"))?;
+        self.put_len(len);
+        Ok(self)
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        self.serialize_u32(variant_index)?;
+        Ok(self)
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+macro_rules! impl_seq_like {
+    ($trait:path, $method:ident) => {
+        impl<'a> $trait for &'a mut BinSerializer {
+            type Ok = ();
+            type Error = CodecError;
+
+            fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+                value.serialize(&mut **self)
+            }
+
+            fn end(self) -> Result<(), CodecError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+impl_seq_like!(ser::SerializeSeq, serialize_element);
+impl_seq_like!(ser::SerializeTuple, serialize_element);
+impl_seq_like!(ser::SerializeTupleStruct, serialize_field);
+impl_seq_like!(ser::SerializeTupleVariant, serialize_field);
+
+impl ser::SerializeMap for &mut BinSerializer {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CodecError> {
+        key.serialize(&mut **self)
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for &mut BinSerializer {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for &mut BinSerializer {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+struct BinDeserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> BinDeserializer<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8], CodecError> {
+        if self.input.len() < n {
+            return Err(de::Error::custom(format!(
+                "unexpected end of input: need {n}, have {}",
+                self.input.len()
+            )));
+        }
+        let (head, rest) = self.input.split_at(n);
+        self.input = rest;
+        Ok(head)
+    }
+
+    fn get_len(&mut self) -> Result<usize, CodecError> {
+        let b = self.take(8)?;
+        let v = u64::from_le_bytes(b.try_into().unwrap());
+        usize::try_from(v).map_err(|_| de::Error::custom("length overflows usize"))
+    }
+}
+
+macro_rules! de_fixed {
+    ($name:ident, $visit:ident, $t:ty, $n:expr) => {
+        fn $name<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+            let b = self.take($n)?;
+            visitor.$visit(<$t>::from_le_bytes(b.try_into().unwrap()))
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
+    type Error = CodecError;
+
+    fn deserialize_any<V: de::Visitor<'de>>(self, _v: V) -> Result<V::Value, CodecError> {
+        Err(de::Error::custom("format is not self-describing"))
+    }
+
+    fn deserialize_bool<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let b = self.take(1)?;
+        visitor.visit_bool(b[0] != 0)
+    }
+
+    de_fixed!(deserialize_i8, visit_i8, i8, 1);
+    de_fixed!(deserialize_i16, visit_i16, i16, 2);
+    de_fixed!(deserialize_i32, visit_i32, i32, 4);
+    de_fixed!(deserialize_i64, visit_i64, i64, 8);
+    de_fixed!(deserialize_u8, visit_u8, u8, 1);
+    de_fixed!(deserialize_u16, visit_u16, u16, 2);
+    de_fixed!(deserialize_u32, visit_u32, u32, 4);
+    de_fixed!(deserialize_u64, visit_u64, u64, 8);
+    de_fixed!(deserialize_f32, visit_f32, f32, 4);
+    de_fixed!(deserialize_f64, visit_f64, f64, 8);
+    de_fixed!(deserialize_i128, visit_i128, i128, 16);
+    de_fixed!(deserialize_u128, visit_u128, u128, 16);
+
+    fn deserialize_char<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let b = self.take(4)?;
+        let v = u32::from_le_bytes(b.try_into().unwrap());
+        visitor.visit_char(char::from_u32(v).ok_or_else(|| de::Error::custom("invalid char"))?)
+    }
+
+    fn deserialize_str<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        let b = self.take(len)?;
+        visitor.visit_borrowed_str(
+            std::str::from_utf8(b).map_err(|e| de::Error::custom(e.to_string()))?,
+        )
+    }
+
+    fn deserialize_string<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let tag = self.take(1)?[0];
+        match tag {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            t => Err(de::Error::custom(format!("invalid option tag {t}"))),
+        }
+    }
+
+    fn deserialize_unit<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple<V: de::Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        visitor.visit_map(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: de::Visitor<'de>>(self, _v: V) -> Result<V::Value, CodecError> {
+        Err(de::Error::custom("identifiers are not stored in this format"))
+    }
+
+    fn deserialize_ignored_any<V: de::Visitor<'de>>(self, _v: V) -> Result<V::Value, CodecError> {
+        Err(de::Error::custom("cannot skip values in a non-self-describing format"))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct Counted<'a, 'de> {
+    de: &'a mut BinDeserializer<'de>,
+    remaining: usize,
+}
+
+impl<'de, 'a> de::SeqAccess<'de> for Counted<'a, 'de> {
+    type Error = CodecError;
+
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'de, 'a> de::MapAccess<'de> for Counted<'a, 'de> {
+    type Error = CodecError;
+
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, CodecError> {
+        seed.deserialize(&mut *self.de)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    de: &'a mut BinDeserializer<'de>,
+}
+
+impl<'de, 'a> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
+    type Error = CodecError;
+    type Variant = VariantAccess<'a, 'de>;
+
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), CodecError> {
+        let idx = {
+            let b = self.de.take(4)?;
+            u32::from_le_bytes(b.try_into().unwrap())
+        };
+        let val = seed.deserialize(idx.into_deserializer())?;
+        Ok((val, VariantAccess { de: self.de }))
+    }
+}
+
+struct VariantAccess<'a, 'de> {
+    de: &'a mut BinDeserializer<'de>,
+}
+
+impl<'de, 'a> de::VariantAccess<'de> for VariantAccess<'a, 'de> {
+    type Error = CodecError;
+
+    fn unit_variant(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, CodecError> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: de::Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        de::Deserializer::deserialize_tuple(self.de, len, visitor)
+    }
+
+    fn struct_variant<V: de::Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn roundtrip<T: Serialize + DeserializeOwned + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v).unwrap();
+        let back: T = from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(42u8);
+        roundtrip(-7i16);
+        roundtrip(123456u32);
+        roundtrip(-987654321i64);
+        roundtrip(u128::MAX);
+        roundtrip(3.5f32);
+        roundtrip(std::f64::consts::PI);
+        roundtrip('λ');
+        roundtrip("hello world".to_string());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<f64>::new());
+        roundtrip(Some(5i32));
+        roundtrip(Option::<i32>::None);
+        roundtrip((1u8, "two".to_string(), 3.0f64));
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        m.insert("b".to_string(), 2u32);
+        roundtrip(m);
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Halo {
+        step: u64,
+        cells: Vec<f64>,
+        from_left: bool,
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Msg {
+        Ping,
+        Halo(Halo),
+        Pair { a: u32, b: u32 },
+    }
+
+    #[test]
+    fn structs_and_enums_roundtrip() {
+        roundtrip(Halo { step: 3, cells: vec![0.5, 1.5], from_left: true });
+        roundtrip(Msg::Ping);
+        roundtrip(Msg::Halo(Halo { step: 9, cells: vec![], from_left: false }));
+        roundtrip(Msg::Pair { a: 1, b: 2 });
+    }
+
+    #[test]
+    fn floats_are_bit_exact() {
+        let vals = vec![0.0f64, -0.0, f64::MIN_POSITIVE, f64::MAX, 1.0 / 3.0];
+        let bytes = to_bytes(&vals).unwrap();
+        let back: Vec<f64> = from_bytes(&bytes).unwrap();
+        for (a, b) in vals.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut bytes = to_bytes(&1u32).unwrap();
+        bytes.push(0);
+        assert!(from_bytes::<u32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let bytes = to_bytes(&vec![1u64, 2, 3]).unwrap();
+        assert!(from_bytes::<Vec<u64>>(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn large_vec_roundtrip() {
+        let v: Vec<f64> = (0..10_000).map(|i| i as f64 * 0.25).collect();
+        roundtrip(v);
+    }
+
+    #[test]
+    fn wire_size_is_compact() {
+        // 8-byte length prefix + n*8 payload for Vec<f64>.
+        let v = vec![1.0f64; 100];
+        assert_eq!(to_bytes(&v).unwrap().len(), 8 + 800);
+    }
+}

@@ -1,0 +1,105 @@
+//! Runtime performance counters.
+//!
+//! HPX exposes introspection counters under paths like
+//! `/threads/count/cumulative`; this module is the equivalent: cheap
+//! relaxed atomics bumped on the hot paths, snapshotted on demand.
+
+use crate::sched::Scheduler;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Monotone event counters for one runtime.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Tasks handed to the scheduler.
+    pub tasks_spawned: AtomicUsize,
+    /// Tasks that finished executing.
+    pub tasks_executed: AtomicUsize,
+    /// Tasks whose closure panicked.
+    pub tasks_panicked: AtomicUsize,
+    /// Future continuations run.
+    pub continuations_run: AtomicUsize,
+    /// Parcels sent from this locality.
+    pub parcels_sent: AtomicUsize,
+    /// Parcels received by this locality.
+    pub parcels_received: AtomicUsize,
+}
+
+/// A point-in-time copy of all counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Tasks handed to the scheduler.
+    pub tasks_spawned: usize,
+    /// Tasks that finished executing.
+    pub tasks_executed: usize,
+    /// Tasks whose closure panicked.
+    pub tasks_panicked: usize,
+    /// Future continuations run.
+    pub continuations_run: usize,
+    /// Tasks moved between workers by stealing.
+    pub tasks_stolen: usize,
+    /// Total pushes observed by the scheduler.
+    pub sched_pushes: usize,
+    /// Parcels sent.
+    pub parcels_sent: usize,
+    /// Parcels received.
+    pub parcels_received: usize,
+}
+
+impl Counters {
+    /// Capture a snapshot, merging in the scheduler's own counters.
+    pub fn snapshot(&self, sched: &Scheduler) -> Snapshot {
+        Snapshot {
+            tasks_spawned: self.tasks_spawned.load(Ordering::Relaxed),
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            tasks_panicked: self.tasks_panicked.load(Ordering::Relaxed),
+            continuations_run: self.continuations_run.load(Ordering::Relaxed),
+            tasks_stolen: sched.stat_stolen.load(Ordering::Relaxed),
+            sched_pushes: sched.stat_pushed.load(Ordering::Relaxed),
+            parcels_sent: self.parcels_sent.load(Ordering::Relaxed),
+            parcels_received: self.parcels_received.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Snapshot {
+    /// Render as `(hpx-style path, value)` pairs.
+    pub fn as_paths(&self) -> Vec<(&'static str, usize)> {
+        vec![
+            ("/threads/count/cumulative", self.tasks_executed),
+            ("/threads/count/spawned", self.tasks_spawned),
+            ("/threads/count/panicked", self.tasks_panicked),
+            ("/threads/count/stolen", self.tasks_stolen),
+            ("/threads/count/pushes", self.sched_pushes),
+            ("/lcos/count/continuations", self.continuations_run),
+            ("/parcels/count/sent", self.parcels_sent),
+            ("/parcels/count/received", self.parcels_received),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::SchedulerPolicy;
+
+    #[test]
+    fn snapshot_reflects_counts() {
+        let c = Counters::default();
+        c.tasks_spawned.fetch_add(3, Ordering::Relaxed);
+        c.parcels_sent.fetch_add(2, Ordering::Relaxed);
+        let s = Scheduler::new(1, SchedulerPolicy::LocalPriority);
+        let snap = c.snapshot(&s);
+        assert_eq!(snap.tasks_spawned, 3);
+        assert_eq!(snap.parcels_sent, 2);
+        assert_eq!(snap.tasks_stolen, 0);
+    }
+
+    #[test]
+    fn paths_cover_all_counters() {
+        let c = Counters::default();
+        let s = Scheduler::new(1, SchedulerPolicy::LocalPriority);
+        let paths = c.snapshot(&s).as_paths();
+        assert_eq!(paths.len(), 8);
+        assert!(paths.iter().any(|(p, _)| *p == "/threads/count/cumulative"));
+    }
+}

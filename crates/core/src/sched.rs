@@ -1,0 +1,440 @@
+//! Task schedulers.
+//!
+//! The default scheduler mirrors HPX's `local-priority` scheduling policy:
+//! every worker owns a local LIFO queue (cache-friendly: the task most
+//! recently made runnable touches warm data), plus a FIFO *pinned* queue
+//! that stealing never touches (for `ScheduleHint::Pinned`, the paper's
+//! one-thread-per-core `hwloc-bind` pinning), a global injector for work
+//! arriving from outside the worker pool, and work stealing from other
+//! workers' queues when everything local is drained. A `static` policy
+//! (stealing disabled) matches HPX's `static` scheduler, which the paper's
+//! NUMA experiments rely on for deterministic placement.
+//!
+//! The queues are small lock-based deques (`parking_lot::Mutex` around a
+//! `VecDeque`): tasks in this workload are coarse enough (stencil chunks,
+//! parcel handlers) that queue-lock cost is negligible, and the locks keep
+//! the implementation obviously correct under stealing.
+
+use crate::task::{Priority, ScheduleHint, Task};
+use crossbeam::queue::SegQueue;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Which scheduling policy to run (HPX `--hpx:queuing`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedulerPolicy {
+    /// Per-worker local queues with work stealing (HPX `local-priority`).
+    #[default]
+    LocalPriority,
+    /// Per-worker queues, no stealing (HPX `static`): tasks stay where
+    /// their hint put them, giving deterministic NUMA placement.
+    Static,
+}
+
+struct WorkerQueues {
+    /// Tasks pinned to this worker; never stolen.
+    pinned: SegQueue<Task>,
+    /// High-priority tasks hinted to this worker.
+    high: SegQueue<Task>,
+    /// Regular local deque (LIFO pop, FIFO steal).
+    local: Mutex<VecDeque<Task>>,
+}
+
+impl WorkerQueues {
+    fn new() -> Self {
+        WorkerQueues {
+            pinned: SegQueue::new(),
+            high: SegQueue::new(),
+            local: Mutex::new(VecDeque::new()),
+        }
+    }
+}
+
+/// Sleep/wake coordination for idle workers.
+struct SleepCtl {
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+/// The shared scheduler state. One instance per [`crate::runtime::Runtime`].
+pub struct Scheduler {
+    policy: SchedulerPolicy,
+    queues: Vec<WorkerQueues>,
+    injector_high: SegQueue<Task>,
+    injector: SegQueue<Task>,
+    sleep: SleepCtl,
+    /// Per-thief victim visit order (NUMA-aware stealing: same-domain
+    /// victims first, so stolen tasks stay close to their data).
+    steal_order: Vec<Vec<usize>>,
+    /// Tasks pushed but not yet popped.
+    queued: AtomicUsize,
+    /// Monotone counters for [`crate::perf`].
+    pub(crate) stat_pushed: AtomicUsize,
+    pub(crate) stat_stolen: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+fn cyclic_order(workers: usize) -> Vec<Vec<usize>> {
+    (0..workers)
+        .map(|thief| (1..workers).map(|off| (thief + off) % workers).collect())
+        .collect()
+}
+
+impl Scheduler {
+    /// Create a scheduler for `workers` worker threads (cyclic steal
+    /// order).
+    pub fn new(workers: usize, policy: SchedulerPolicy) -> Scheduler {
+        assert!(workers > 0, "need at least one worker");
+        Scheduler {
+            policy,
+            queues: (0..workers).map(|_| WorkerQueues::new()).collect(),
+            injector_high: SegQueue::new(),
+            injector: SegQueue::new(),
+            sleep: SleepCtl { lock: Mutex::new(()), cond: Condvar::new() },
+            steal_order: cyclic_order(workers),
+            queued: AtomicUsize::new(0),
+            stat_pushed: AtomicUsize::new(0),
+            stat_stolen: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Create a scheduler whose steal order follows a topology: each thief
+    /// visits same-NUMA-domain victims before remote ones (hwloc-aware
+    /// stealing, as HPX configures on NUMA machines).
+    pub fn with_topology(
+        workers: usize,
+        policy: SchedulerPolicy,
+        topo: &crate::topology::Topology,
+    ) -> Scheduler {
+        assert_eq!(topo.workers(), workers);
+        let mut s = Scheduler::new(workers, policy);
+        s.steal_order = (0..workers)
+            .map(|thief| {
+                let my_domain = topo.domain_of(thief);
+                let mut order: Vec<usize> = (1..workers).map(|off| (thief + off) % workers).collect();
+                // Stable partition: same-domain victims first, preserving
+                // the cyclic order within each class.
+                order.sort_by_key(|&v| topo.domain_of(v) != my_domain);
+                order
+            })
+            .collect();
+        s
+    }
+
+    /// The victim visit order used by worker `thief`.
+    pub fn steal_order_of(&self, thief: usize) -> &[usize] {
+        &self.steal_order[thief]
+    }
+
+    /// Number of workers this scheduler serves.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> SchedulerPolicy {
+        self.policy
+    }
+
+    /// Enqueue a task. `from_worker` is the id of the calling worker if the
+    /// caller *is* one of this scheduler's workers (lets unhinted tasks go
+    /// to the caller's local queue, HPX's default child-stealing setup).
+    pub fn push(&self, task: Task, from_worker: Option<usize>) {
+        self.stat_pushed.fetch_add(1, Ordering::Relaxed);
+        self.queued.fetch_add(1, Ordering::Release);
+        match task.hint {
+            ScheduleHint::Pinned(w) => {
+                self.queues[w % self.queues.len()].pinned.push(task);
+            }
+            ScheduleHint::Worker(w) => {
+                let w = w % self.queues.len();
+                if task.priority == Priority::High {
+                    self.queues[w].high.push(task);
+                } else {
+                    self.queues[w].local.lock().push_back(task);
+                }
+            }
+            ScheduleHint::None => match (task.priority, from_worker) {
+                (Priority::High, _) => self.injector_high.push(task),
+                (_, Some(w)) => self.queues[w].local.lock().push_back(task),
+                (_, None) => self.injector.push(task),
+            },
+        }
+        self.wake_one();
+    }
+
+    /// Dequeue work for `worker`. Returns `None` when nothing is runnable
+    /// anywhere (caller should park via [`Scheduler::wait_for_work`]).
+    pub fn pop(&self, worker: usize) -> Option<Task> {
+        let q = &self.queues[worker];
+        let got = q
+            .pinned
+            .pop()
+            .or_else(|| q.high.pop())
+            .or_else(|| self.injector_high.pop())
+            .or_else(|| q.local.lock().pop_back())
+            .or_else(|| self.injector.pop())
+            .or_else(|| self.steal(worker));
+        if got.is_some() {
+            self.queued.fetch_sub(1, Ordering::AcqRel);
+        }
+        got
+    }
+
+    fn steal(&self, thief: usize) -> Option<Task> {
+        if self.policy == SchedulerPolicy::Static {
+            return None;
+        }
+        for &victim in &self.steal_order[thief] {
+            let task = {
+                let mut dq = self.queues[victim].local.lock();
+                dq.pop_front()
+            };
+            if task.is_some() {
+                self.stat_stolen.fetch_add(1, Ordering::Relaxed);
+                return task;
+            }
+        }
+        None
+    }
+
+    /// Whether any task is queued (racy; for idle heuristics only).
+    pub fn has_queued(&self) -> bool {
+        self.queued.load(Ordering::Acquire) > 0
+    }
+
+    /// Number of queued (not yet popped) tasks.
+    pub fn queued_len(&self) -> usize {
+        self.queued.load(Ordering::Acquire)
+    }
+
+    /// Park the calling worker until work might be available or shutdown is
+    /// signalled. Uses a timeout so a lost wakeup can never hang a worker.
+    pub fn wait_for_work(&self) {
+        if self.has_queued() || self.is_shutdown() {
+            return;
+        }
+        let mut guard = self.sleep.lock.lock();
+        if self.has_queued() || self.is_shutdown() {
+            return;
+        }
+        self.sleep
+            .cond
+            .wait_for(&mut guard, Duration::from_millis(1));
+    }
+
+    /// Wake one parked worker.
+    pub fn wake_one(&self) {
+        self.sleep.cond.notify_one();
+    }
+
+    /// Wake all parked workers.
+    pub fn wake_all(&self) {
+        self.sleep.cond.notify_all();
+    }
+
+    /// Signal shutdown: workers drain and exit.
+    pub fn signal_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.wake_all();
+    }
+
+    /// Whether shutdown has been signalled.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> Task {
+        Task::new(|| {})
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let s = Scheduler::new(2, SchedulerPolicy::LocalPriority);
+        s.push(task(), None);
+        assert_eq!(s.queued_len(), 1);
+        assert!(s.pop(0).is_some());
+        assert_eq!(s.queued_len(), 0);
+        assert!(s.pop(0).is_none());
+    }
+
+    #[test]
+    fn pinned_tasks_are_not_stolen() {
+        let s = Scheduler::new(2, SchedulerPolicy::LocalPriority);
+        s.push(task().with_hint(crate::task::ScheduleHint::Pinned(1)), None);
+        // Worker 0 must not see it (pinned queues are never stolen)…
+        assert!(s.pop(0).is_none());
+        // …but worker 1 does.
+        assert!(s.pop(1).is_some());
+    }
+
+    #[test]
+    fn hinted_tasks_can_be_stolen() {
+        let s = Scheduler::new(2, SchedulerPolicy::LocalPriority);
+        s.push(task().with_hint(crate::task::ScheduleHint::Worker(1)), None);
+        // Worker 0 steals it from worker 1's local queue.
+        assert!(s.pop(0).is_some());
+        assert_eq!(s.stat_stolen.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn static_policy_never_steals() {
+        let s = Scheduler::new(2, SchedulerPolicy::Static);
+        s.push(task().with_hint(crate::task::ScheduleHint::Worker(1)), None);
+        assert!(s.pop(0).is_none(), "static scheduler must not steal");
+        assert!(s.pop(1).is_some());
+    }
+
+    #[test]
+    fn high_priority_jumps_the_queue() {
+        let s = Scheduler::new(1, SchedulerPolicy::LocalPriority);
+        let order = std::sync::Arc::new(Mutex::new(Vec::new()));
+        for (tag, prio) in [(1, Priority::Normal), (2, Priority::High)] {
+            let order = order.clone();
+            s.push(
+                Task::new(move || order.lock().push(tag)).with_priority(prio),
+                None,
+            );
+        }
+        while let Some(t) = s.pop(0) {
+            t.run();
+        }
+        assert_eq!(*order.lock(), vec![2, 1]);
+    }
+
+    #[test]
+    fn local_queue_is_lifo_for_owner() {
+        let s = Scheduler::new(1, SchedulerPolicy::LocalPriority);
+        let order = std::sync::Arc::new(Mutex::new(Vec::new()));
+        for tag in [1, 2, 3] {
+            let order = order.clone();
+            // from_worker = Some(0): goes to worker 0's local deque.
+            s.push(Task::new(move || order.lock().push(tag)), Some(0));
+        }
+        while let Some(t) = s.pop(0) {
+            t.run();
+        }
+        assert_eq!(*order.lock(), vec![3, 2, 1], "owner pops LIFO");
+    }
+
+    #[test]
+    fn steal_takes_oldest_first() {
+        let s = Scheduler::new(2, SchedulerPolicy::LocalPriority);
+        let order = std::sync::Arc::new(Mutex::new(Vec::new()));
+        for tag in [1, 2] {
+            let order = order.clone();
+            s.push(Task::new(move || order.lock().push(tag)), Some(0));
+        }
+        // Worker 1 steals the *oldest* task (FIFO steal end).
+        s.pop(1).unwrap().run();
+        assert_eq!(*order.lock(), vec![1]);
+    }
+
+    #[test]
+    fn shutdown_wakes_and_flags() {
+        let s = Scheduler::new(1, SchedulerPolicy::LocalPriority);
+        assert!(!s.is_shutdown());
+        s.signal_shutdown();
+        assert!(s.is_shutdown());
+        // wait_for_work returns immediately after shutdown.
+        s.wait_for_work();
+    }
+
+    #[test]
+    fn numa_aware_steal_prefers_same_domain() {
+        // 4 workers in 2 domains {0,1} {2,3}. A task hinted to worker 1
+        // and one hinted to worker 3: thief 0 must steal worker 1's first.
+        let topo = crate::topology::Topology::uniform(4, 2);
+        let s = Scheduler::with_topology(4, SchedulerPolicy::LocalPriority, &topo);
+        assert_eq!(s.steal_order_of(0), &[1, 2, 3]);
+        assert_eq!(s.steal_order_of(2), &[3, 0, 1], "same-domain (3) first, then cyclic");
+        let tag = std::sync::Arc::new(Mutex::new(Vec::new()));
+        for (worker, label) in [(1usize, "near"), (3usize, "far")] {
+            let tag = tag.clone();
+            s.push(
+                Task::new(move || tag.lock().push(label))
+                    .with_hint(crate::task::ScheduleHint::Worker(worker)),
+                None,
+            );
+        }
+        s.pop(0).unwrap().run();
+        assert_eq!(*tag.lock(), vec!["near"], "same-domain victim first");
+    }
+
+    #[test]
+    fn topology_steal_order_visits_everyone_once() {
+        let topo = crate::topology::Topology::uniform(6, 3);
+        let s = Scheduler::with_topology(6, SchedulerPolicy::LocalPriority, &topo);
+        for thief in 0..6 {
+            let mut order = s.steal_order_of(thief).to_vec();
+            assert_eq!(order.len(), 5);
+            assert!(!order.contains(&thief));
+            order.sort_unstable();
+            let mut expect: Vec<usize> = (0..6).filter(|&w| w != thief).collect();
+            expect.sort_unstable();
+            assert_eq!(order, expect);
+            // First victim shares the thief's domain (each domain has 2
+            // workers here).
+            let first = s.steal_order_of(thief)[0];
+            assert_eq!(topo.domain_of(first), topo.domain_of(thief));
+        }
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves_tasks() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let s = Arc::new(Scheduler::new(4, SchedulerPolicy::LocalPriority));
+        let ran = Arc::new(AtomicUsize::new(0));
+        const N: usize = 1000;
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let s = s.clone();
+                let ran = ran.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..N {
+                        let ran = ran.clone();
+                        s.push(
+                            Task::new(move || {
+                                ran.fetch_add(1, Ordering::Relaxed);
+                            }),
+                            None,
+                        );
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|w| {
+                let s = s.clone();
+                std::thread::spawn(move || loop {
+                    match s.pop(w) {
+                        Some(t) => t.run(),
+                        None => {
+                            if s.is_shutdown() && !s.has_queued() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        s.signal_shutdown();
+        for c in consumers {
+            c.join().unwrap();
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 4 * N);
+    }
+}

@@ -1,0 +1,141 @@
+//! Emulated hardware topology (the hwloc analogue).
+//!
+//! The paper pins one HPX worker per physical core with `hwloc-bind` and
+//! allocates stencil blocks with a NUMA-aware first-touch allocator so a
+//! worker always runs where its data lives (Section VII-A). This module
+//! provides the logical equivalent: a map from workers to NUMA domains and
+//! block-distribution helpers that the [`crate::executors::BlockExecutor`]
+//! and the first-touch initialization use.
+
+use std::ops::Range;
+
+/// A worker → NUMA-domain map.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    workers: usize,
+    /// `domain_of[w]` = NUMA domain of worker `w`.
+    domain_of: Vec<usize>,
+    domains: usize,
+}
+
+impl Topology {
+    /// Spread `workers` evenly over `domains` NUMA domains, first workers
+    /// in domain 0 (matching sequential physical pinning).
+    ///
+    /// # Panics
+    /// Panics if `domains == 0` or `domains > workers`.
+    pub fn uniform(workers: usize, domains: usize) -> Topology {
+        assert!(domains > 0 && domains <= workers, "bad topology: {workers} workers, {domains} domains");
+        let base = workers / domains;
+        let extra = workers % domains;
+        let mut domain_of = Vec::with_capacity(workers);
+        for d in 0..domains {
+            let count = base + usize::from(d < extra);
+            domain_of.extend(std::iter::repeat_n(d, count));
+        }
+        Topology { workers, domain_of, domains }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Number of NUMA domains.
+    pub fn domains(&self) -> usize {
+        self.domains
+    }
+
+    /// NUMA domain of a worker.
+    pub fn domain_of(&self, worker: usize) -> usize {
+        self.domain_of[worker]
+    }
+
+    /// Workers in a given domain.
+    pub fn workers_in(&self, domain: usize) -> Vec<usize> {
+        (0..self.workers).filter(|&w| self.domain_of[w] == domain).collect()
+    }
+
+    /// Split `0..items` into one contiguous block per worker (OpenMP
+    /// `schedule(static)` / HPX block-allocator distribution). Blocks
+    /// differ in size by at most one item.
+    pub fn block_ranges(&self, items: usize) -> Vec<Range<usize>> {
+        block_ranges(items, self.workers)
+    }
+}
+
+/// Split `0..items` into `parts` contiguous ranges differing in length by
+/// at most one (empty ranges at the tail if `parts > items`).
+pub fn block_ranges(items: usize, parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0);
+    let base = items / parts;
+    let extra = items % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_spreads_evenly() {
+        let t = Topology::uniform(8, 2);
+        assert_eq!(t.domain_of(0), 0);
+        assert_eq!(t.domain_of(3), 0);
+        assert_eq!(t.domain_of(4), 1);
+        assert_eq!(t.workers_in(0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn uniform_handles_remainders() {
+        let t = Topology::uniform(5, 2);
+        assert_eq!(t.workers_in(0).len(), 3);
+        assert_eq!(t.workers_in(1).len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_domains_than_workers_panics() {
+        let _ = Topology::uniform(2, 3);
+    }
+
+    #[test]
+    fn block_ranges_cover_everything_once() {
+        let ranges = block_ranges(10, 3);
+        assert_eq!(ranges, vec![0..4, 4..7, 7..10]);
+        let total: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn block_ranges_with_more_parts_than_items() {
+        let ranges = block_ranges(2, 4);
+        assert_eq!(ranges.iter().filter(|r| !r.is_empty()).count(), 2);
+        assert_eq!(ranges.len(), 4);
+    }
+
+    #[test]
+    fn block_ranges_sizes_differ_by_at_most_one() {
+        for items in [0, 1, 7, 100, 1001] {
+            for parts in [1, 2, 3, 8, 13] {
+                let ranges = block_ranges(items, parts);
+                let min = ranges.iter().map(|r| r.len()).min().unwrap();
+                let max = ranges.iter().map(|r| r.len()).max().unwrap();
+                assert!(max - min <= 1, "items={items} parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn topology_block_ranges_match_worker_count() {
+        let t = Topology::uniform(4, 2);
+        assert_eq!(t.block_ranges(100).len(), 4);
+    }
+}

@@ -1,0 +1,173 @@
+//! Node + interconnect descriptions of the paper's three prototype
+//! clusters (Section VI).
+//!
+//! The distributed 1D-stencil results (Fig. 3) depend on one property per
+//! cluster: whether the network's latency can be hidden under the interior
+//! compute. The paper finds it can on the Xeon, ThunderX2 and A64FX
+//! systems (near-linear strong scaling, flat weak scaling) but *not* on the
+//! Kunpeng 916 — "the network performance on the Hi1616 nodes is
+//! unsatisfactory and the processor is not able to exploit the capabilities
+//! of the InfiniBand network". We model that as a high effective
+//! per-message latency, low effective bandwidth, no overlap, and a
+//! congestion term that grows with node count (the paper's weak-scaling
+//! times increase "significantly" with nodes).
+
+use crate::spec::{Processor, ProcessorId};
+use serde::Serialize;
+
+/// Effective (application-visible) interconnect characteristics.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct NetworkSpec {
+    /// One-way small-message latency in microseconds, as seen by the
+    /// parcelport (includes software stack).
+    pub latency_us: f64,
+    /// Achievable point-to-point bandwidth, GB/s.
+    pub bandwidth_gbs: f64,
+    /// Whether the runtime can overlap communication with computation on
+    /// this fabric (true everywhere except the Hi1616 nodes).
+    pub latency_hiding: bool,
+    /// Extra exposed overhead per additional node, as a fraction of the
+    /// base message cost — models the congestion/jitter that makes the
+    /// Kunpeng weak-scaling times grow with node count.
+    pub congestion_per_node: f64,
+}
+
+impl NetworkSpec {
+    /// Pure message transfer time (latency + serialization), microseconds.
+    pub fn transfer_time_us(&self, bytes: usize) -> f64 {
+        self.latency_us + bytes as f64 / (self.bandwidth_gbs * 1e3)
+    }
+
+    /// Message cost including the congestion term at a given node count,
+    /// microseconds.
+    pub fn congested_transfer_time_us(&self, bytes: usize, nodes: usize) -> f64 {
+        let base = self.transfer_time_us(bytes);
+        base * (1.0 + self.congestion_per_node * nodes.saturating_sub(1) as f64)
+    }
+}
+
+/// One of the paper's prototype clusters: a node type plus its fabric.
+#[derive(Clone, Debug, Serialize)]
+pub struct ClusterSpec {
+    /// Cluster display name.
+    pub name: &'static str,
+    /// Node processor.
+    pub node: Processor,
+    /// Interconnect.
+    pub network: NetworkSpec,
+    /// Largest node count the paper benchmarks on this system.
+    pub max_nodes: usize,
+}
+
+impl ClusterSpec {
+    /// The cluster a given processor was benchmarked on (Section VI).
+    pub fn for_processor(id: ProcessorId) -> ClusterSpec {
+        match id {
+            ProcessorId::XeonE5_2660v3 => ClusterSpec {
+                name: "JUAWEI (Xeon partition)",
+                node: id.spec(),
+                network: NetworkSpec {
+                    latency_us: 2.0,
+                    bandwidth_gbs: 12.0,
+                    latency_hiding: true,
+                    congestion_per_node: 0.0,
+                },
+                max_nodes: 8,
+            },
+            // Same InfiniBand hardware as the Xeon partition, but the
+            // Hi1616 cannot drive it: high effective latency, a fraction of
+            // the bandwidth, and no effective overlap.
+            ProcessorId::Kunpeng916 => ClusterSpec {
+                name: "JUAWEI (Kunpeng partition)",
+                node: id.spec(),
+                network: NetworkSpec {
+                    // Effective application-level numbers: the Hi1616's
+                    // software stack cannot drive the IB hardware, and the
+                    // exposed per-step cost grows sharply with node count
+                    // (the paper's weak-scaling blow-up).
+                    latency_us: 2500.0,
+                    bandwidth_gbs: 1.2,
+                    latency_hiding: false,
+                    congestion_per_node: 1.5,
+                },
+                max_nodes: 8,
+            },
+            ProcessorId::ThunderX2 => ClusterSpec {
+                name: "Sage",
+                node: id.spec(),
+                network: NetworkSpec {
+                    latency_us: 2.5,
+                    bandwidth_gbs: 11.0,
+                    latency_hiding: true,
+                    congestion_per_node: 0.0,
+                },
+                max_nodes: 8,
+            },
+            // FX1000 with Tofu-D, driven through the Fujitsu-MPI-backed
+            // parcelport the paper built.
+            ProcessorId::A64FX => ClusterSpec {
+                name: "Fujitsu A64FX prototype",
+                node: id.spec(),
+                network: NetworkSpec {
+                    latency_us: 1.5,
+                    bandwidth_gbs: 6.8,
+                    latency_hiding: true,
+                    congestion_per_node: 0.0,
+                },
+                max_nodes: 8,
+            },
+        }
+    }
+
+    /// The node-count sweep of Fig. 3.
+    pub fn node_sweep(&self) -> Vec<usize> {
+        let mut n = 1;
+        let mut out = Vec::new();
+        while n <= self.max_nodes {
+            out.push(n);
+            n *= 2;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn good_fabrics_hide_latency_kunpeng_does_not() {
+        for id in ProcessorId::ALL {
+            let c = ClusterSpec::for_processor(id);
+            let expect_hiding = id != ProcessorId::Kunpeng916;
+            assert_eq!(c.network.latency_hiding, expect_hiding, "{id:?}");
+        }
+    }
+
+    #[test]
+    fn transfer_time_has_latency_floor() {
+        let net = ClusterSpec::for_processor(ProcessorId::XeonE5_2660v3).network;
+        assert!(net.transfer_time_us(0) >= net.latency_us);
+        // 1 MiB at 12 GB/s is ~87 microseconds on top of latency.
+        let t = net.transfer_time_us(1 << 20);
+        assert!(t > 80.0 && t < 100.0, "{t}");
+    }
+
+    #[test]
+    fn congestion_grows_with_nodes_only_on_poor_fabric() {
+        let bad = ClusterSpec::for_processor(ProcessorId::Kunpeng916).network;
+        let good = ClusterSpec::for_processor(ProcessorId::A64FX).network;
+        let b1 = bad.congested_transfer_time_us(4096, 1);
+        let b8 = bad.congested_transfer_time_us(4096, 8);
+        assert!(b8 > 2.0 * b1, "Kunpeng congestion should grow: {b1} -> {b8}");
+        let g1 = good.congested_transfer_time_us(4096, 1);
+        let g8 = good.congested_transfer_time_us(4096, 8);
+        assert!((g8 - g1).abs() < 1e-9, "good fabric flat: {g1} -> {g8}");
+    }
+
+    #[test]
+    fn node_sweep_is_powers_of_two() {
+        let c = ClusterSpec::for_processor(ProcessorId::XeonE5_2660v3);
+        assert_eq!(c.node_sweep(), vec![1, 2, 4, 8]);
+    }
+}

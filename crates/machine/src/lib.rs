@@ -1,0 +1,35 @@
+//! # parallex-machine
+//!
+//! Models of the hardware platforms the paper evaluates (Table I plus the
+//! three prototype clusters of Section VI). The paper's results are all
+//! explained by a small number of architectural mechanisms; this crate
+//! encodes exactly those, as data plus small analytical models:
+//!
+//! * [`spec`] — the four processors (Intel Xeon E5-2660 v3, HiSilicon
+//!   Kunpeng 916 / Hi1616, Marvell ThunderX2, Fujitsu A64FX) with clocks,
+//!   core/socket/NUMA layout, vector pipelines, peak FLOP/s, cache
+//!   geometry and measured-STREAM-class memory bandwidths.
+//! * [`numa`] — per-NUMA-domain bandwidth saturation: how aggregate
+//!   bandwidth grows with active cores (Fig. 2's plateaus) and the
+//!   partially-populated-domain penalty behind the Kunpeng 916 performance
+//!   dips at 40 and 56 cores (Section VII-B).
+//! * [`cache`] — cache-line-driven *effective* memory traffic: the paper's
+//!   observation that A64FX (256-byte lines) and ThunderX2 behave as if the
+//!   5-point stencil needs only two memory transfers per lattice-site
+//!   update instead of three, a "free" cache-blocking effect worth ~49 %.
+//! * [`cluster`] — node + interconnect descriptions for the JUAWEI, Sage
+//!   and Fujitsu A64FX prototype clusters, including the degraded Hi1616
+//!   fabric that ruins the Kunpeng's distributed scaling (Fig. 3).
+//!
+//! Everything here is hardware description; the execution/timing models
+//! that consume it live in `parallex-perfsim` and `parallex-netsim`.
+
+pub mod cache;
+pub mod cluster;
+pub mod numa;
+pub mod spec;
+
+pub use cache::CacheBlocking;
+pub use cluster::{ClusterSpec, NetworkSpec};
+pub use numa::{DomainPopulation, MemorySystem};
+pub use spec::{Processor, ProcessorId, VectorPipeline};

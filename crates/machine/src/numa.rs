@@ -1,0 +1,295 @@
+//! Per-NUMA-domain memory bandwidth saturation.
+//!
+//! Two observations from the paper drive this module:
+//!
+//! 1. **Fig. 2 (STREAM COPY)**: aggregate bandwidth rises roughly linearly
+//!    with core count until each NUMA domain's memory controllers saturate,
+//!    then plateaus; adding the next domain's cores raises the plateau.
+//! 2. **Section VII-B (Kunpeng 916 dips)**: when some NUMA domains are
+//!    fully populated and another is only partially populated, the
+//!    partially populated domain becomes the *critical path* — its cores
+//!    see effectively less bandwidth (first-touch pages and stolen tasks
+//!    land remotely, and its controllers run at poor efficiency), so a
+//!    statically balanced stencil *loses* throughput going from 32 to 40
+//!    cores, recovers at 48, dips again at 56. We model this with a single
+//!    per-processor penalty factor applied to the per-core bandwidth of a
+//!    part-filled domain whenever at least one other domain is full.
+//!
+//! STREAM itself (independent per-core streams, best-of-N reported) does
+//! not suffer the imbalance, so [`MemorySystem::stream_aggregate_gbs`]
+//! applies no penalty, while the stencil execution model uses
+//! [`MemorySystem::min_per_core_bw`], which does.
+
+use crate::spec::Processor;
+
+/// How many cores are active in each NUMA domain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DomainPopulation(pub Vec<usize>);
+
+impl DomainPopulation {
+    /// Fill domains one after another (hwloc-bind physical-order pinning,
+    /// which is what the paper uses): first `cores_per_domain` cores land
+    /// in domain 0, the next in domain 1, and so on.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the node's core count.
+    pub fn fill_sequential(proc: &Processor, n: usize) -> Self {
+        assert!(n <= proc.total_cores(), "{n} cores > node size {}", proc.total_cores());
+        let per = proc.cores_per_domain();
+        let mut left = n;
+        let pops = (0..proc.numa_domains)
+            .map(|_| {
+                let take = left.min(per);
+                left -= take;
+                take
+            })
+            .collect();
+        DomainPopulation(pops)
+    }
+
+    /// Spread cores round-robin across domains (maximizes early bandwidth;
+    /// provided for ablations).
+    pub fn fill_balanced(proc: &Processor, n: usize) -> Self {
+        assert!(n <= proc.total_cores(), "{n} cores > node size {}", proc.total_cores());
+        let d = proc.numa_domains;
+        let pops = (0..d).map(|i| n / d + usize::from(i < n % d)).collect();
+        DomainPopulation(pops)
+    }
+
+    /// Total active cores.
+    pub fn total(&self) -> usize {
+        self.0.iter().sum()
+    }
+
+    /// True if any domain is filled to `full` cores.
+    pub fn any_full(&self, full: usize) -> bool {
+        self.0.contains(&full)
+    }
+}
+
+/// Bandwidth model for one node.
+#[derive(Clone, Debug)]
+pub struct MemorySystem {
+    proc: Processor,
+}
+
+impl MemorySystem {
+    /// Build the model for a processor.
+    pub fn new(proc: &Processor) -> Self {
+        MemorySystem { proc: proc.clone() }
+    }
+
+    /// The processor this models.
+    pub fn processor(&self) -> &Processor {
+        &self.proc
+    }
+
+    /// Aggregate bandwidth one domain sustains with `active` cores
+    /// streaming: linear in cores until the controllers saturate.
+    pub fn domain_stream_bw(&self, active: usize) -> f64 {
+        (active as f64 * self.proc.core_bw_gbs).min(self.proc.domain_bw_gbs)
+    }
+
+    /// Node STREAM COPY bandwidth for a placement — the Fig. 2 model. Sum
+    /// of per-domain saturating curves, no imbalance penalty (STREAM's
+    /// arrays are first-touched by the core that streams them).
+    pub fn stream_aggregate_gbs(&self, pop: &DomainPopulation) -> f64 {
+        pop.0.iter().map(|&p| self.domain_stream_bw(p)).sum()
+    }
+
+    /// Convenience: STREAM bandwidth at `n` cores with sequential pinning.
+    pub fn stream_at(&self, n: usize) -> f64 {
+        self.stream_aggregate_gbs(&DomainPopulation::fill_sequential(&self.proc, n))
+    }
+
+    /// Per-core sustainable bandwidth in each domain for a *bulk
+    /// synchronous* workload (every core gets an equal share of work and
+    /// the step ends when the slowest finishes). Applies the
+    /// partially-populated-domain penalty when at least one other domain is
+    /// completely full — the Kunpeng-dip mechanism.
+    pub fn per_core_bw(&self, pop: &DomainPopulation) -> Vec<f64> {
+        let full = self.proc.cores_per_domain();
+        // The imbalance penalty needs at least two saturated domains: with
+        // a single full domain the fabric still has headroom to absorb the
+        // part-filled domain's remote traffic (the paper observes dips at
+        // 40 and 56 cores on the Kunpeng — 2 resp. 3 full domains — but not
+        // in the ≤32-core region).
+        let imbalanced = pop.0.iter().filter(|&&p| p == full).count() >= 2;
+        pop.0
+            .iter()
+            .map(|&p| {
+                if p == 0 {
+                    return f64::INFINITY; // no cores here: never the critical path
+                }
+                let fair = self.proc.core_bw_gbs.min(self.proc.domain_bw_gbs / p as f64);
+                if imbalanced && p < full {
+                    // Critical-path core of a part-filled domain: behaves
+                    // like a core of a *full* domain would, further degraded
+                    // by the imbalance penalty.
+                    (self.proc.domain_bw_gbs / full as f64) * self.proc.partial_domain_penalty
+                } else {
+                    fair
+                }
+            })
+            .collect()
+    }
+
+    /// Bandwidth available to the slowest active core — what determines a
+    /// statically-partitioned stencil's step time.
+    pub fn min_per_core_bw(&self, pop: &DomainPopulation) -> f64 {
+        self.per_core_bw(pop)
+            .into_iter()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Effective node throughput-bandwidth for a bulk-synchronous kernel:
+    /// `n_cores * min_per_core_bw`. This is the quantity whose dips
+    /// reproduce Fig. 5's 40- and 56-core anomalies.
+    pub fn effective_bsp_bw(&self, pop: &DomainPopulation) -> f64 {
+        pop.total() as f64 * self.min_per_core_bw(pop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ProcessorId;
+
+    fn kunpeng() -> MemorySystem {
+        MemorySystem::new(&ProcessorId::Kunpeng916.spec())
+    }
+
+    #[test]
+    fn sequential_fill_packs_domains() {
+        let p = ProcessorId::Kunpeng916.spec();
+        assert_eq!(DomainPopulation::fill_sequential(&p, 40).0, vec![16, 16, 8, 0]);
+        assert_eq!(DomainPopulation::fill_sequential(&p, 64).0, vec![16, 16, 16, 16]);
+        assert_eq!(DomainPopulation::fill_sequential(&p, 5).0, vec![5, 0, 0, 0]);
+    }
+
+    #[test]
+    fn balanced_fill_spreads() {
+        let p = ProcessorId::Kunpeng916.spec();
+        assert_eq!(DomainPopulation::fill_balanced(&p, 6).0, vec![2, 2, 1, 1]);
+        assert_eq!(DomainPopulation::fill_balanced(&p, 64).0, vec![16, 16, 16, 16]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overfull_population_panics() {
+        let p = ProcessorId::XeonE5_2660v3.spec();
+        let _ = DomainPopulation::fill_sequential(&p, p.total_cores() + 1);
+    }
+
+    #[test]
+    fn stream_is_monotonic_in_cores() {
+        for id in ProcessorId::ALL {
+            let ms = MemorySystem::new(&id.spec());
+            let mut prev = 0.0;
+            for n in 1..=id.spec().total_cores() {
+                let bw = ms.stream_at(n);
+                assert!(bw >= prev - 1e-12, "{id:?} at {n}: {bw} < {prev}");
+                prev = bw;
+            }
+        }
+    }
+
+    #[test]
+    fn stream_saturates_at_node_bandwidth() {
+        for id in ProcessorId::ALL {
+            let p = id.spec();
+            let ms = MemorySystem::new(&p);
+            let full = ms.stream_at(p.total_cores());
+            assert!((full - p.node_bw_gbs()).abs() < 1e-9, "{id:?}");
+        }
+    }
+
+    #[test]
+    fn single_core_stream_is_core_cap() {
+        for id in ProcessorId::ALL {
+            let p = id.spec();
+            let ms = MemorySystem::new(&p);
+            assert!((ms.stream_at(1) - p.core_bw_gbs.min(p.domain_bw_gbs)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kunpeng_dips_at_40_and_56_cores() {
+        // The headline Section VII-B anomaly: effective bulk-synchronous
+        // bandwidth at 40 cores is *below* 32 cores, recovers at 48, dips
+        // again at 56, recovers at 64.
+        let p = ProcessorId::Kunpeng916.spec();
+        let ms = kunpeng();
+        let eff = |n| ms.effective_bsp_bw(&DomainPopulation::fill_sequential(&p, n));
+        assert!(eff(40) < eff(32), "40-core dip: {} !< {}", eff(40), eff(32));
+        assert!(eff(48) > eff(40), "48-core recovery");
+        assert!(eff(56) < eff(48), "56-core dip");
+        assert!(eff(64) > eff(56), "64-core recovery");
+    }
+
+    #[test]
+    fn no_penalty_when_all_domains_balanced() {
+        let p = ProcessorId::Kunpeng916.spec();
+        let ms = kunpeng();
+        // 32 cores = exactly two full domains; no partial domain exists.
+        let pop = DomainPopulation::fill_sequential(&p, 32);
+        let bws = ms.per_core_bw(&pop);
+        assert_eq!(bws[0], bws[1]);
+        assert!(bws[2].is_infinite() && bws[3].is_infinite());
+    }
+
+    #[test]
+    fn per_core_bw_never_exceeds_core_cap_when_unpenalized() {
+        for id in ProcessorId::ALL {
+            let p = id.spec();
+            let ms = MemorySystem::new(&p);
+            for n in 1..=p.total_cores() {
+                let pop = DomainPopulation::fill_sequential(&p, n);
+                for &bw in ms.per_core_bw(&pop).iter().filter(|b| b.is_finite()) {
+                    assert!(bw <= p.core_bw_gbs + 1e-12, "{id:?} n={n} bw={bw}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_fill_never_trails_sequential_on_stream() {
+        // Spreading cores over domains reaches aggregate bandwidth at
+        // least as fast as packing them.
+        for id in ProcessorId::ALL {
+            let p = id.spec();
+            let ms = MemorySystem::new(&p);
+            for n in 1..=p.total_cores() {
+                let seq = ms.stream_aggregate_gbs(&DomainPopulation::fill_sequential(&p, n));
+                let bal = ms.stream_aggregate_gbs(&DomainPopulation::fill_balanced(&p, n));
+                assert!(bal >= seq - 1e-9, "{id:?} n={n}: {bal} < {seq}");
+            }
+        }
+    }
+
+    #[test]
+    fn populations_always_sum_to_requested_cores() {
+        for id in ProcessorId::ALL {
+            let p = id.spec();
+            for n in 0..=p.total_cores() {
+                assert_eq!(DomainPopulation::fill_sequential(&p, n).total(), n);
+                assert_eq!(DomainPopulation::fill_balanced(&p, n).total(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn full_node_bsp_equals_node_bandwidth() {
+        for id in ProcessorId::ALL {
+            let p = id.spec();
+            let ms = MemorySystem::new(&p);
+            let pop = DomainPopulation::fill_sequential(&p, p.total_cores());
+            let eff = ms.effective_bsp_bw(&pop);
+            assert!(
+                (eff - p.node_bw_gbs()).abs() < 1e-6,
+                "{id:?}: {eff} vs {}",
+                p.node_bw_gbs()
+            );
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Table I as data: the four processors under evaluation.
+//!
+//! Clock speeds, core counts, SMT, vector pipelines and peak FLOP/s are
+//! taken verbatim from Table I of the paper. NUMA layout, cache geometry
+//! and sustainable memory bandwidth are taken from the paper's Section VII
+//! discussion (NUMA-domain saturation points, cache-line benefits) and the
+//! STREAM COPY measurements of Fig. 2; where the paper gives no absolute
+//! number the value is taken from the public literature on the same silicon
+//! and flagged with a comment. All bandwidth figures are *sustained STREAM
+//! COPY class* numbers, which is what the paper's roofline uses.
+
+use serde::Serialize;
+
+/// Identifies one of the four benchmarked processors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub enum ProcessorId {
+    /// Intel Xeon E5-2660 v3 "Haswell" (JUAWEI cluster, x86 baseline).
+    XeonE5_2660v3,
+    /// HiSilicon Kunpeng 916 / Hi1616 (JUAWEI cluster).
+    Kunpeng916,
+    /// Marvell ThunderX2 (Sage cluster).
+    ThunderX2,
+    /// Fujitsu A64FX as in the FX1000 (Fujitsu prototype cluster).
+    A64FX,
+}
+
+impl ProcessorId {
+    /// All four processors, in the paper's Table I column order.
+    pub const ALL: [ProcessorId; 4] = [
+        ProcessorId::XeonE5_2660v3,
+        ProcessorId::Kunpeng916,
+        ProcessorId::ThunderX2,
+        ProcessorId::A64FX,
+    ];
+
+    /// Full display name, as used in the figures.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ProcessorId::XeonE5_2660v3 => "Intel Xeon E5-2660 v3",
+            ProcessorId::Kunpeng916 => "HiSilicon Kunpeng 916",
+            ProcessorId::ThunderX2 => "Marvell ThunderX2",
+            ProcessorId::A64FX => "Fujitsu (FX1000) A64FX",
+        }
+    }
+
+    /// Short slug for CSV/series labels.
+    pub const fn slug(self) -> &'static str {
+        match self {
+            ProcessorId::XeonE5_2660v3 => "xeon-e5",
+            ProcessorId::Kunpeng916 => "kunpeng916",
+            ProcessorId::ThunderX2 => "thunderx2",
+            ProcessorId::A64FX => "a64fx",
+        }
+    }
+
+    /// The full machine description.
+    pub fn spec(self) -> Processor {
+        Processor::of(self)
+    }
+}
+
+/// SIMD pipeline configuration (Table I "Vectorization" row).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct VectorPipeline {
+    /// Register width in bits (AVX2 256, NEON 128, SVE 512).
+    pub width_bits: usize,
+    /// Number of SIMD pipelines per core ("Double AVX2 Pipeline" = 2).
+    pub pipes: usize,
+    /// ISA display name.
+    pub isa_name: &'static str,
+}
+
+impl VectorPipeline {
+    /// `f64` lanes per register.
+    pub const fn lanes_f64(&self) -> usize {
+        self.width_bits / 64
+    }
+    /// `f32` lanes per register.
+    pub const fn lanes_f32(&self) -> usize {
+        self.width_bits / 32
+    }
+    /// Double-precision FLOPs per cycle per core assuming FMA on every
+    /// pipe — reproduces Table I's "Double Precision FLOPS per cycle" row.
+    pub const fn dp_flops_per_cycle(&self) -> usize {
+        self.lanes_f64() * 2 * self.pipes
+    }
+}
+
+/// A node-level machine description.
+#[derive(Clone, Debug, Serialize)]
+pub struct Processor {
+    /// Which processor this is.
+    pub id: ProcessorId,
+    /// Core clock in GHz (Table I).
+    pub clock_ghz: f64,
+    /// Compute cores per socket (Table I; A64FX counts only the 48 compute
+    /// cores, not the 4 helper cores, matching the paper's figures).
+    pub cores_per_socket: usize,
+    /// Sockets per node (Table I "Processors per node").
+    pub sockets: usize,
+    /// Hardware threads per core (Table I).
+    pub threads_per_core: usize,
+    /// SIMD configuration.
+    pub vector: VectorPipeline,
+    /// NUMA domains per node.
+    pub numa_domains: usize,
+    /// Sustained STREAM COPY bandwidth of one NUMA domain, GB/s. The
+    /// node-level Fig. 2 plateau is `numa_domains *` this.
+    pub domain_bw_gbs: f64,
+    /// Per-core sustainable bandwidth cap, GB/s: how much one core can pull
+    /// by itself (limited by outstanding misses). Sets the slope of the
+    /// STREAM curve before the domain saturates.
+    pub core_bw_gbs: f64,
+    /// Cache line size in bytes. A64FX's 256-byte lines are the paper's
+    /// explanation for its "free cache blocking" (Section VII-B).
+    pub cache_line_bytes: usize,
+    /// Last-level cache per NUMA domain, bytes (used by the
+    /// rows-fit-in-cache check behind the 3-transfers assumption).
+    pub llc_per_domain_bytes: usize,
+    /// Throughput penalty multiplier applied to a *partially populated*
+    /// NUMA domain while other domains are full, modelling the first-touch
+    /// imbalance the paper blames for the Kunpeng dips (1.0 = no penalty).
+    pub partial_domain_penalty: f64,
+}
+
+impl Processor {
+    /// Build the spec for one of the four processors.
+    pub fn of(id: ProcessorId) -> Processor {
+        match id {
+            // 2 sockets x 10 cores, 2 NUMA domains, AVX2. Sustained
+            // bandwidth ~59 GB/s per socket (DDR4-2133, 4 channels).
+            ProcessorId::XeonE5_2660v3 => Processor {
+                id,
+                clock_ghz: 2.6,
+                cores_per_socket: 10,
+                sockets: 2,
+                threads_per_core: 2,
+                vector: VectorPipeline { width_bits: 256, pipes: 2, isa_name: "AVX2" },
+                numa_domains: 2,
+                domain_bw_gbs: 59.0,
+                core_bw_gbs: 14.0,
+                cache_line_bytes: 64,
+                llc_per_domain_bytes: 25 * 1024 * 1024,
+                partial_domain_penalty: 0.9,
+            },
+            // Hi1616: 64 cores in 4 NUMA domains of 16 (2 dies x 2
+            // clusters). Weak per-core memory parallelism; the paper's
+            // 40-/56-core dips come from partially filled domains.
+            ProcessorId::Kunpeng916 => Processor {
+                id,
+                clock_ghz: 2.4,
+                cores_per_socket: 64,
+                sockets: 1,
+                threads_per_core: 1,
+                vector: VectorPipeline { width_bits: 128, pipes: 1, isa_name: "NEON" },
+                numa_domains: 4,
+                domain_bw_gbs: 33.0,
+                core_bw_gbs: 4.2,
+                cache_line_bytes: 64,
+                llc_per_domain_bytes: 8 * 1024 * 1024,
+                partial_domain_penalty: 0.55,
+            },
+            // Dual-socket 32-core nodes on Sage (the Table I peak of
+            // 1228 GFLOP/s = 64 cores x 2.4 GHz x 8 DP FLOP/cycle implies
+            // both sockets). 8 DDR4-2666 channels per socket.
+            ProcessorId::ThunderX2 => Processor {
+                id,
+                clock_ghz: 2.4,
+                cores_per_socket: 32,
+                sockets: 2,
+                threads_per_core: 4,
+                vector: VectorPipeline { width_bits: 128, pipes: 2, isa_name: "NEON" },
+                numa_domains: 2,
+                domain_bw_gbs: 110.0,
+                core_bw_gbs: 9.0,
+                cache_line_bytes: 64,
+                llc_per_domain_bytes: 32 * 1024 * 1024,
+                partial_domain_penalty: 0.85,
+            },
+            // 48 compute cores in 4 CMGs of 12, HBM2. GCC-compiled STREAM
+            // sustains ~160 GB/s per CMG (the paper's footnote 2: higher is
+            // possible only with the Fujitsu compiler's cache tricks).
+            ProcessorId::A64FX => Processor {
+                id,
+                clock_ghz: 2.2,
+                cores_per_socket: 48,
+                sockets: 1,
+                threads_per_core: 1,
+                vector: VectorPipeline { width_bits: 512, pipes: 2, isa_name: "SVE" },
+                numa_domains: 4,
+                domain_bw_gbs: 160.0,
+                core_bw_gbs: 28.0,
+                cache_line_bytes: 256,
+                llc_per_domain_bytes: 8 * 1024 * 1024,
+                partial_domain_penalty: 0.9,
+            },
+        }
+    }
+
+    /// Total compute cores per node.
+    pub fn total_cores(&self) -> usize {
+        self.cores_per_socket * self.sockets
+    }
+
+    /// Cores per NUMA domain.
+    pub fn cores_per_domain(&self) -> usize {
+        self.total_cores() / self.numa_domains
+    }
+
+    /// Node peak double-precision GFLOP/s — reproduces Table I's "Peak
+    /// Performance" row.
+    pub fn peak_dp_gflops(&self) -> f64 {
+        self.total_cores() as f64 * self.clock_ghz * self.vector.dp_flops_per_cycle() as f64
+    }
+
+    /// Node peak single-precision GFLOP/s.
+    pub fn peak_sp_gflops(&self) -> f64 {
+        2.0 * self.peak_dp_gflops()
+    }
+
+    /// Node-level sustained STREAM bandwidth with all domains saturated,
+    /// GB/s (the Fig. 2 plateau).
+    pub fn node_bw_gbs(&self) -> f64 {
+        self.domain_bw_gbs * self.numa_domains as f64
+    }
+
+    /// The sensible core-count sweep for this machine's figures: powers of
+    /// two plus the domain boundaries, up to the full node.
+    pub fn core_sweep(&self) -> Vec<usize> {
+        let total = self.total_cores();
+        let per_domain = self.cores_per_domain();
+        let mut pts: Vec<usize> = vec![1, 2, 4];
+        let mut c = 8;
+        while c < total {
+            pts.push(c);
+            c += 8;
+        }
+        pts.push(total);
+        pts.push(per_domain);
+        pts.retain(|&c| c <= total);
+        pts.sort_unstable();
+        pts.dedup();
+        pts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_gflops_matches_table_i() {
+        // Table I: 832 / 614 / 1228 / 3379 GFLOP/s.
+        let xeon = ProcessorId::XeonE5_2660v3.spec();
+        assert!((xeon.peak_dp_gflops() - 832.0).abs() < 1.0, "{}", xeon.peak_dp_gflops());
+        let kp = ProcessorId::Kunpeng916.spec();
+        assert!((kp.peak_dp_gflops() - 614.4).abs() < 1.0, "{}", kp.peak_dp_gflops());
+        let tx2 = ProcessorId::ThunderX2.spec();
+        assert!((tx2.peak_dp_gflops() - 1228.8).abs() < 1.0, "{}", tx2.peak_dp_gflops());
+        let a64 = ProcessorId::A64FX.spec();
+        assert!((a64.peak_dp_gflops() - 3379.2).abs() < 1.0, "{}", a64.peak_dp_gflops());
+    }
+
+    #[test]
+    fn dp_flops_per_cycle_matches_table_i() {
+        // Table I: 16 / 4 / 8 / 32.
+        assert_eq!(ProcessorId::XeonE5_2660v3.spec().vector.dp_flops_per_cycle(), 16);
+        assert_eq!(ProcessorId::Kunpeng916.spec().vector.dp_flops_per_cycle(), 4);
+        assert_eq!(ProcessorId::ThunderX2.spec().vector.dp_flops_per_cycle(), 8);
+        assert_eq!(ProcessorId::A64FX.spec().vector.dp_flops_per_cycle(), 32);
+    }
+
+    #[test]
+    fn clock_speeds_match_table_i() {
+        assert_eq!(ProcessorId::XeonE5_2660v3.spec().clock_ghz, 2.6);
+        assert_eq!(ProcessorId::Kunpeng916.spec().clock_ghz, 2.4);
+        assert_eq!(ProcessorId::ThunderX2.spec().clock_ghz, 2.4);
+        assert_eq!(ProcessorId::A64FX.spec().clock_ghz, 2.2);
+    }
+
+    #[test]
+    fn numa_layout_is_consistent() {
+        for id in ProcessorId::ALL {
+            let p = id.spec();
+            assert_eq!(
+                p.cores_per_domain() * p.numa_domains,
+                p.total_cores(),
+                "{:?}: cores must divide evenly into domains",
+                id
+            );
+        }
+    }
+
+    #[test]
+    fn a64fx_has_large_cache_lines() {
+        assert_eq!(ProcessorId::A64FX.spec().cache_line_bytes, 256);
+        assert_eq!(ProcessorId::XeonE5_2660v3.spec().cache_line_bytes, 64);
+    }
+
+    #[test]
+    fn core_sweep_covers_full_node_and_is_sorted() {
+        for id in ProcessorId::ALL {
+            let p = id.spec();
+            let sweep = p.core_sweep();
+            assert_eq!(*sweep.first().unwrap(), 1);
+            assert_eq!(*sweep.last().unwrap(), p.total_cores());
+            assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn kunpeng_has_four_domains_of_16() {
+        let p = ProcessorId::Kunpeng916.spec();
+        assert_eq!(p.numa_domains, 4);
+        assert_eq!(p.cores_per_domain(), 16);
+    }
+
+    #[test]
+    fn sp_peak_is_double_dp_peak() {
+        for id in ProcessorId::ALL {
+            let p = id.spec();
+            assert!((p.peak_sp_gflops() - 2.0 * p.peak_dp_gflops()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn slugs_and_names_are_distinct() {
+        let slugs: std::collections::HashSet<_> = ProcessorId::ALL.iter().map(|p| p.slug()).collect();
+        assert_eq!(slugs.len(), 4);
+        let names: std::collections::HashSet<_> = ProcessorId::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+}

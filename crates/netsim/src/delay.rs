@@ -1,0 +1,64 @@
+//! Bridge from machine-level network specs to runtime parcel delays.
+
+use parallex::parcel::DelayFn;
+use parallex_machine::cluster::NetworkSpec;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Build a [`DelayFn`] that delays every parcel by the spec's
+/// latency + size/bandwidth wire time (scaled by `time_scale`, so tests
+/// can run a "1000× faster" network while keeping ratios intact).
+pub fn parcel_delay_fn(net: NetworkSpec, time_scale: f64) -> DelayFn {
+    assert!(time_scale > 0.0);
+    Arc::new(move |parcel| {
+        let us = net.transfer_time_us(parcel.wire_bytes()) * time_scale;
+        Duration::from_nanos((us * 1000.0) as u64)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use parallex::agas::Gid;
+    use parallex::parcel::Parcel;
+    use parallex_machine::cluster::ClusterSpec;
+    use parallex_machine::spec::ProcessorId;
+
+    fn parcel(payload_len: usize) -> Parcel {
+        Parcel {
+            source: 0,
+            dest_locality: 1,
+            dest: Gid { origin: 0, lid: 0 },
+            action: 1,
+            payload: Bytes::from(vec![0u8; payload_len]),
+            response_token: None,
+        }
+    }
+
+    #[test]
+    fn delay_scales_with_size() {
+        let net = ClusterSpec::for_processor(ProcessorId::XeonE5_2660v3).network;
+        let f = parcel_delay_fn(net, 1.0);
+        let small = f(&parcel(16));
+        let large = f(&parcel(1 << 20));
+        assert!(large > small * 10);
+    }
+
+    #[test]
+    fn time_scale_compresses_delays() {
+        let net = ClusterSpec::for_processor(ProcessorId::Kunpeng916).network;
+        let full = parcel_delay_fn(net, 1.0)(&parcel(1024));
+        let fast = parcel_delay_fn(net, 0.001)(&parcel(1024));
+        let ratio = full.as_nanos() as f64 / fast.as_nanos().max(1) as f64;
+        assert!((900.0..1100.0).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn kunpeng_fabric_is_much_slower_than_xeon_fabric() {
+        let xeon = ClusterSpec::for_processor(ProcessorId::XeonE5_2660v3).network;
+        let kp = ClusterSpec::for_processor(ProcessorId::Kunpeng916).network;
+        let p = parcel(4096);
+        assert!(parcel_delay_fn(kp, 1.0)(&p) > 50 * parcel_delay_fn(xeon, 1.0)(&p));
+    }
+}

@@ -1,0 +1,118 @@
+//! Flow-level link contention.
+//!
+//! A minimal fluid model: a link of bandwidth `B` shared by `k`
+//! simultaneous flows gives each flow `B/k`. Used by the DES when several
+//! localities exchange halos through one switch at the same instant, and
+//! by ablation benches exploring how all-to-all patterns would behave.
+
+use parallex_machine::cluster::NetworkSpec;
+
+/// Tracks concurrent flows over one (logical) link.
+#[derive(Clone, Debug)]
+pub struct Fabric {
+    net: NetworkSpec,
+    active_flows: usize,
+}
+
+impl Fabric {
+    /// A fabric with no active flows.
+    pub fn new(net: NetworkSpec) -> Fabric {
+        Fabric { net, active_flows: 0 }
+    }
+
+    /// The underlying spec.
+    pub fn network(&self) -> &NetworkSpec {
+        &self.net
+    }
+
+    /// Currently active flows.
+    pub fn active_flows(&self) -> usize {
+        self.active_flows
+    }
+
+    /// Open a flow (a transfer in progress).
+    pub fn open_flow(&mut self) {
+        self.active_flows += 1;
+    }
+
+    /// Close a flow.
+    ///
+    /// # Panics
+    /// Panics if no flow is open.
+    pub fn close_flow(&mut self) {
+        assert!(self.active_flows > 0, "no open flows");
+        self.active_flows -= 1;
+    }
+
+    /// Transfer time of `bytes` with the *current* contention level,
+    /// microseconds (the caller's own flow counts, so 0 active flows and 1
+    /// active flow are equivalent).
+    pub fn transfer_time_us(&self, bytes: usize) -> f64 {
+        let share = self.active_flows.max(1) as f64;
+        self.net.latency_us + bytes as f64 * share / (self.net.bandwidth_gbs * 1e3)
+    }
+
+    /// Aggregate time for `flows` equal transfers of `bytes` starting
+    /// together (they finish together under fair sharing).
+    pub fn concurrent_transfer_us(&self, bytes: usize, flows: usize) -> f64 {
+        assert!(flows > 0);
+        self.net.latency_us + (bytes * flows) as f64 / (self.net.bandwidth_gbs * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallex_machine::cluster::ClusterSpec;
+    use parallex_machine::spec::ProcessorId;
+
+    fn fabric() -> Fabric {
+        Fabric::new(ClusterSpec::for_processor(ProcessorId::XeonE5_2660v3).network)
+    }
+
+    #[test]
+    fn contention_slows_transfers() {
+        let mut f = fabric();
+        f.open_flow();
+        let alone = f.transfer_time_us(1 << 20);
+        f.open_flow();
+        f.open_flow();
+        let contended = f.transfer_time_us(1 << 20);
+        assert!(contended > 2.0 * alone - f.network().latency_us * 2.0);
+        f.close_flow();
+        f.close_flow();
+        f.close_flow();
+    }
+
+    #[test]
+    #[should_panic(expected = "no open flows")]
+    fn close_without_open_panics() {
+        fabric().close_flow();
+    }
+
+    #[test]
+    fn concurrent_equals_serialized_payload_time() {
+        let f = fabric();
+        let t4 = f.concurrent_transfer_us(1 << 18, 4);
+        let t1 = f.concurrent_transfer_us(1 << 20, 1);
+        assert!((t4 - t1).abs() < 1e-9, "same total bytes, same time");
+    }
+
+    #[test]
+    fn open_close_cycle_returns_to_baseline() {
+        let mut f = fabric();
+        let before = f.transfer_time_us(1 << 16);
+        f.open_flow();
+        f.open_flow();
+        f.close_flow();
+        f.close_flow();
+        assert_eq!(f.active_flows(), 0);
+        assert_eq!(f.transfer_time_us(1 << 16), before);
+    }
+
+    #[test]
+    fn latency_floor_once_per_transfer() {
+        let f = fabric();
+        assert!(f.transfer_time_us(0) >= f.network().latency_us);
+    }
+}

@@ -1,0 +1,86 @@
+//! Halo-exchange cost and latency-hiding analysis.
+//!
+//! The paper's distributed 1D stencil is "implemented such that network
+//! latencies can be hidden under compute" (Section VII-A): each node sends
+//! its two boundary cells, computes the interior, and only then needs the
+//! neighbours' halos. The *exposed* per-step communication cost is
+//! therefore `max(0, wire_time - interior_compute_time)` — zero on any
+//! sane fabric. On the Hi1616 partition overlap is ineffective, so the
+//! full (congested) wire time lands on the critical path and grows with
+//! node count, which is exactly the weak-scaling blow-up of Fig. 3.
+
+use parallex_machine::cluster::NetworkSpec;
+
+/// Wire time of one halo message of `halo_bytes`, at `nodes` participating
+/// nodes (congestion included), microseconds.
+pub fn halo_transfer_us(net: &NetworkSpec, halo_bytes: usize, nodes: usize) -> f64 {
+    net.congested_transfer_time_us(halo_bytes, nodes)
+}
+
+/// Exposed (non-overlappable) communication cost per time step,
+/// microseconds. `interior_compute_us` is the time the node spends
+/// computing cells that do not depend on the incoming halo.
+pub fn exposed_step_overhead_us(
+    net: &NetworkSpec,
+    halo_bytes: usize,
+    nodes: usize,
+    interior_compute_us: f64,
+) -> f64 {
+    if nodes <= 1 {
+        return 0.0;
+    }
+    let wire = halo_transfer_us(net, halo_bytes, nodes);
+    if net.latency_hiding {
+        (wire - interior_compute_us).max(0.0)
+    } else {
+        wire
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallex_machine::cluster::ClusterSpec;
+    use parallex_machine::spec::ProcessorId;
+
+    const HALO_BYTES: usize = 16; // two f64 boundary cells
+
+    #[test]
+    fn single_node_has_no_overhead() {
+        let net = ClusterSpec::for_processor(ProcessorId::Kunpeng916).network;
+        assert_eq!(exposed_step_overhead_us(&net, HALO_BYTES, 1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn good_fabric_hides_latency_under_compute() {
+        for id in [ProcessorId::XeonE5_2660v3, ProcessorId::ThunderX2, ProcessorId::A64FX] {
+            let net = ClusterSpec::for_processor(id).network;
+            // Interior compute of a 150M-point block is tens of ms; wire
+            // time is a few µs.
+            let exposed = exposed_step_overhead_us(&net, HALO_BYTES, 8, 30_000.0);
+            assert_eq!(exposed, 0.0, "{id:?}");
+        }
+    }
+
+    #[test]
+    fn good_fabric_exposes_only_residual_when_compute_is_tiny() {
+        let net = ClusterSpec::for_processor(ProcessorId::XeonE5_2660v3).network;
+        let exposed = exposed_step_overhead_us(&net, HALO_BYTES, 8, 0.5);
+        assert!(exposed > 0.0 && exposed < net.latency_us * 2.0);
+    }
+
+    #[test]
+    fn kunpeng_fabric_never_hides() {
+        let net = ClusterSpec::for_processor(ProcessorId::Kunpeng916).network;
+        let exposed = exposed_step_overhead_us(&net, HALO_BYTES, 2, 1e9);
+        assert!(exposed >= net.latency_us, "fully exposed despite huge compute");
+    }
+
+    #[test]
+    fn kunpeng_overhead_grows_with_nodes() {
+        let net = ClusterSpec::for_processor(ProcessorId::Kunpeng916).network;
+        let at = |n| exposed_step_overhead_us(&net, HALO_BYTES, n, 10_000.0);
+        assert!(at(4) > at(2));
+        assert!(at(8) > 2.0 * at(2), "super-linear blow-up: {} vs {}", at(8), at(2));
+    }
+}

@@ -1,0 +1,26 @@
+//! # parallex-netsim
+//!
+//! Interconnect simulation for the distributed experiments (the paper's
+//! Fig. 3). Two consumers:
+//!
+//! * **Real execution**: [`delay::parcel_delay_fn`] turns a
+//!   [`parallex_machine::cluster::NetworkSpec`] into a
+//!   [`parallex::parcel::DelayFn`], so a [`parallex::locality::Cluster`]
+//!   physically delays its parcels by the modeled wire time — the
+//!   distributed 1D stencil then *experiences* the network it is being
+//!   evaluated against.
+//! * **Analytic/DES timing**: [`halo`] computes the per-time-step exposed
+//!   communication cost of a nearest-neighbour halo exchange, including
+//!   the latency-hiding analysis that separates the Xeon/TX2/A64FX fabrics
+//!   (overlapped, near-zero exposure) from the Hi1616 fabric (exposed,
+//!   growing with node count).
+//! * [`fabric`] adds simple flow-level contention for many simultaneous
+//!   transfers over one link.
+
+pub mod delay;
+pub mod fabric;
+pub mod halo;
+
+pub use delay::parcel_delay_fn;
+pub use fabric::Fabric;
+pub use halo::{exposed_step_overhead_us, halo_transfer_us};

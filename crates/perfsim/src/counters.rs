@@ -1,0 +1,185 @@
+//! PAPI-like hardware-counter emulation.
+//!
+//! The paper uses Linux perf and PAPI (Section VI "Hardware Counters") to
+//! read instructions, cache misses and stall cycles. This module exposes
+//! the same workflow — build an event set, "run" the kernel, read the
+//! counts — backed by the calibrated coefficients of [`crate::kernel`],
+//! so Tables III–VI regenerate for the reference grid and extrapolate to
+//! any other grid size.
+
+use crate::kernel::{jacobi2d_coeffs, Provenance, Vectorization};
+use parallex_machine::spec::ProcessorId;
+
+/// The hardware events the paper reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HwEvent {
+    /// Retired instructions (`PAPI_TOT_INS`).
+    Instructions,
+    /// Last-level cache misses (`PAPI_TOT_CYC`-adjacent; the paper's
+    /// "Cache Misses" column).
+    CacheMisses,
+    /// L2 cache misses (reported separately for ThunderX2).
+    L2CacheMisses,
+    /// Frontend stall cycles.
+    FrontendStalls,
+    /// Backend stall cycles.
+    BackendStalls,
+}
+
+/// A completed measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HwCounters {
+    /// Retired instructions.
+    pub instructions: f64,
+    /// Last-level cache misses.
+    pub cache_misses: f64,
+    /// L2 cache misses.
+    pub l2_misses: f64,
+    /// Frontend stall cycles.
+    pub fe_stalls: f64,
+    /// Backend stall cycles.
+    pub be_stalls: f64,
+    /// Whether the stall numbers trace to the paper's tables or to our
+    /// fitted estimates (Xeon/Kunpeng lack stall counters).
+    pub stall_provenance: Provenance,
+}
+
+impl HwCounters {
+    /// Read one event from the measurement.
+    pub fn read(&self, ev: HwEvent) -> f64 {
+        match ev {
+            HwEvent::Instructions => self.instructions,
+            HwEvent::CacheMisses => self.cache_misses,
+            HwEvent::L2CacheMisses => self.l2_misses,
+            HwEvent::FrontendStalls => self.fe_stalls,
+            HwEvent::BackendStalls => self.be_stalls,
+        }
+    }
+
+    /// Whether this machine supports stall counters (the paper: Xeon
+    /// E5-2660 v3 and Hi1616 do not).
+    pub fn stalls_supported(&self) -> bool {
+        self.stall_provenance == Provenance::Paper
+    }
+}
+
+/// "Measure" the 2D Jacobi kernel on one core of `proc` over an
+/// `nx × ny` grid for `steps` iterations — the counter-mode run of
+/// Section VI (reference: 8192 × 16384, 100 steps).
+pub fn measure(
+    proc: ProcessorId,
+    elem_bytes: usize,
+    vec: Vectorization,
+    nx: usize,
+    ny: usize,
+    steps: usize,
+) -> HwCounters {
+    let lups = nx as f64 * ny as f64 * steps as f64;
+    let c = jacobi2d_coeffs(proc, elem_bytes, vec);
+    HwCounters {
+        instructions: c.instr * lups,
+        cache_misses: c.cache_misses * lups,
+        l2_misses: c.l2_misses * lups,
+        fe_stalls: c.fe_stalls * lups,
+        be_stalls: c.be_stalls * lups,
+        stall_provenance: c.stall_provenance,
+    }
+}
+
+/// [`measure`] at the paper's counter workload (8192 × 16384, 100 steps).
+pub fn measure_reference(proc: ProcessorId, elem_bytes: usize, vec: Vectorization) -> HwCounters {
+    measure(proc, elem_bytes, vec, 8192, 16384, 100)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Vectorization::{Auto, Explicit};
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() / b < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn table_iii_xeon_reproduces() {
+        let rows = [
+            (Auto, 4, 3.153e10, 2.121e8),
+            (Explicit, 4, 1.783e10, 3.706e8),
+            (Auto, 8, 6.01e10, 4.74e8),
+            (Explicit, 8, 3.507e10, 8.751e8),
+        ];
+        for (vec, bytes, instr, miss) in rows {
+            let m = measure_reference(ProcessorId::XeonE5_2660v3, bytes, vec);
+            close(m.instructions, instr);
+            close(m.cache_misses, miss);
+            assert!(!m.stalls_supported(), "paper: Xeon lacks stall counters");
+        }
+    }
+
+    #[test]
+    fn table_iv_kunpeng_reproduces() {
+        let rows = [
+            (Auto, 4, 4.3e10, 3.148e9),
+            (Explicit, 4, 4.144e10, 2.512e9),
+            (Auto, 8, 8.321e10, 5.639e9),
+            (Explicit, 8, 8.236e10, 4.953e9),
+        ];
+        for (vec, bytes, instr, miss) in rows {
+            let m = measure_reference(ProcessorId::Kunpeng916, bytes, vec);
+            close(m.instructions, instr);
+            close(m.cache_misses, miss);
+            assert!(!m.stalls_supported());
+        }
+    }
+
+    #[test]
+    fn table_v_a64fx_reproduces() {
+        let rows = [
+            (Auto, 4, 1.284e10, 3.801e8, 9.43e9),
+            (Explicit, 4, 1.496e10, 2.918e8, 8.003e9),
+            (Auto, 8, 2.299e10, 3.86e8, 1.871e10),
+            (Explicit, 8, 2.956e10, 3.56e8, 1.443e10),
+        ];
+        for (vec, bytes, instr, fe, be) in rows {
+            let m = measure_reference(ProcessorId::A64FX, bytes, vec);
+            close(m.instructions, instr);
+            close(m.fe_stalls, fe);
+            close(m.be_stalls, be);
+            assert!(m.stalls_supported());
+        }
+    }
+
+    #[test]
+    fn table_vi_tx2_reproduces() {
+        let rows = [
+            (Auto, 4, 4.039e10, 1.811e9, 1.522e10),
+            (Explicit, 4, 4.394e10, 1.69e9, 6.437e9),
+            (Auto, 8, 8.065e10, 5.716e9, 3.298e10),
+            (Explicit, 8, 8.756e10, 6.055e9, 2.826e10),
+        ];
+        for (vec, bytes, instr, l2, be) in rows {
+            let m = measure_reference(ProcessorId::ThunderX2, bytes, vec);
+            close(m.instructions, instr);
+            close(m.l2_misses, l2);
+            close(m.be_stalls, be);
+        }
+    }
+
+    #[test]
+    fn counts_scale_linearly_with_grid() {
+        let small = measure(ProcessorId::A64FX, 8, Auto, 1024, 1024, 10);
+        let big = measure(ProcessorId::A64FX, 8, Auto, 2048, 1024, 10);
+        close(big.instructions, 2.0 * small.instructions);
+        close(big.be_stalls, 2.0 * small.be_stalls);
+    }
+
+    #[test]
+    fn event_read_api_matches_fields() {
+        let m = measure_reference(ProcessorId::ThunderX2, 4, Explicit);
+        assert_eq!(m.read(HwEvent::Instructions), m.instructions);
+        assert_eq!(m.read(HwEvent::CacheMisses), m.cache_misses);
+        assert_eq!(m.read(HwEvent::L2CacheMisses), m.l2_misses);
+        assert_eq!(m.read(HwEvent::FrontendStalls), m.fe_stalls);
+        assert_eq!(m.read(HwEvent::BackendStalls), m.be_stalls);
+    }
+}

@@ -1,0 +1,236 @@
+//! A discrete-event simulator of the AMT scheduler.
+//!
+//! Models what `parallex`'s work-stealing scheduler does to a bag of chunk
+//! tasks on `n` simulated cores: per-core queues, pinning, stealing (with
+//! a latency per steal) and a fixed dispatch overhead per task. Used to
+//! validate the analytic makespans in [`crate::exec`] and to study the
+//! grain-size regime where AMT overheads bite (the paper: "Like every AMT
+//! model, HPX is known to have contention overheads when the grain size is
+//! too small", Section VII-B).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// One simulated task.
+#[derive(Clone, Copy, Debug)]
+pub struct SimTask {
+    /// Pure compute time, nanoseconds.
+    pub duration_ns: f64,
+    /// Pin to a specific core (never stolen) or run anywhere.
+    pub pinned: Option<usize>,
+}
+
+/// Simulated scheduler configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DesConfig {
+    /// Simulated cores.
+    pub cores: usize,
+    /// Dispatch overhead per task, nanoseconds (queue pop, cache warmup).
+    pub task_overhead_ns: f64,
+    /// Whether idle cores steal from the busiest queue.
+    pub steal_enabled: bool,
+    /// Extra cost of a stolen task, nanoseconds (cold cache, queue
+    /// contention).
+    pub steal_latency_ns: f64,
+}
+
+impl Default for DesConfig {
+    fn default() -> Self {
+        DesConfig {
+            cores: 4,
+            task_overhead_ns: 400.0,
+            steal_enabled: true,
+            steal_latency_ns: 800.0,
+        }
+    }
+}
+
+/// Simulation outcome.
+#[derive(Clone, Debug)]
+pub struct DesResult {
+    /// Virtual time when the last task finished, nanoseconds.
+    pub makespan_ns: f64,
+    /// Number of stolen tasks.
+    pub steals: usize,
+    /// Busy time per core, nanoseconds.
+    pub busy_ns: Vec<f64>,
+}
+
+impl DesResult {
+    /// Fraction of `cores * makespan` spent computing (1.0 = perfect).
+    pub fn utilization(&self) -> f64 {
+        if self.makespan_ns == 0.0 {
+            return 1.0;
+        }
+        self.busy_ns.iter().sum::<f64>() / (self.busy_ns.len() as f64 * self.makespan_ns)
+    }
+}
+
+/// Run the simulation: all tasks are ready at time zero (one bulk-
+/// synchronous wave, which is what each stencil time step submits).
+pub fn simulate(cfg: &DesConfig, tasks: &[SimTask]) -> DesResult {
+    assert!(cfg.cores > 0);
+    // Distribute: pinned tasks to their core, unpinned round-robin (the
+    // runtime's block/parallel executors do the same).
+    let mut queues: Vec<VecDeque<(f64, bool)>> = vec![VecDeque::new(); cfg.cores];
+    let mut rr = 0;
+    for t in tasks {
+        let core = match t.pinned {
+            Some(c) => c % cfg.cores,
+            None => {
+                rr = (rr + 1) % cfg.cores;
+                rr
+            }
+        };
+        queues[core].push_back((t.duration_ns, t.pinned.is_some()));
+    }
+
+    // Event queue of core-becomes-free times. f64 is not Ord; nanosecond
+    // u64 keys are exact enough for the model.
+    let mut events: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for c in 0..cfg.cores {
+        events.push(Reverse((0, c)));
+    }
+    let mut busy = vec![0.0; cfg.cores];
+    let mut makespan = 0.0f64;
+    let mut steals = 0;
+
+    while let Some(Reverse((now, core))) = events.pop() {
+        let now_ns = now as f64;
+        // Own queue first.
+        let (dur, extra) = if let Some((d, _)) = queues[core].pop_front() {
+            (d, 0.0)
+        } else if cfg.steal_enabled {
+            // Steal from the longest queue, oldest unpinned task first.
+            let victim = (0..cfg.cores)
+                .filter(|&v| v != core)
+                .max_by_key(|&v| queues[v].iter().filter(|(_, pinned)| !pinned).count());
+            let mut stolen = None;
+            if let Some(v) = victim {
+                if let Some(pos) = queues[v].iter().position(|(_, pinned)| !pinned) {
+                    stolen = queues[v].remove(pos);
+                }
+            }
+            match stolen {
+                Some((d, _)) => {
+                    steals += 1;
+                    (d, cfg.steal_latency_ns)
+                }
+                None => continue, // nothing left anywhere for this core
+            }
+        } else {
+            continue;
+        };
+        let finish = now_ns + cfg.task_overhead_ns + extra + dur;
+        busy[core] += dur;
+        makespan = makespan.max(finish);
+        events.push(Reverse((finish.ceil() as u64, core)));
+    }
+
+    DesResult { makespan_ns: makespan, steals, busy_ns: busy }
+}
+
+/// Convenience: simulate one stencil time step of `lups` updates split
+/// into `chunks` equal unpinned tasks at `ns_per_lup`.
+pub fn simulate_step(cfg: &DesConfig, lups: f64, chunks: usize, ns_per_lup: f64) -> DesResult {
+    assert!(chunks > 0);
+    let per_chunk = lups / chunks as f64 * ns_per_lup;
+    let tasks: Vec<SimTask> =
+        (0..chunks).map(|_| SimTask { duration_ns: per_chunk, pinned: None }).collect();
+    simulate(cfg, &tasks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize, dur: f64) -> Vec<SimTask> {
+        (0..n).map(|_| SimTask { duration_ns: dur, pinned: None }).collect()
+    }
+
+    #[test]
+    fn empty_task_set_finishes_instantly() {
+        let r = simulate(&DesConfig::default(), &[]);
+        assert_eq!(r.makespan_ns, 0.0);
+        assert_eq!(r.steals, 0);
+    }
+
+    #[test]
+    fn single_task_pays_overhead_plus_duration() {
+        let cfg = DesConfig { cores: 1, task_overhead_ns: 100.0, ..Default::default() };
+        let r = simulate(&cfg, &uniform(1, 1000.0));
+        assert!((r.makespan_ns - 1100.0).abs() < 2.0, "{}", r.makespan_ns);
+    }
+
+    #[test]
+    fn perfect_speedup_for_balanced_coarse_tasks() {
+        let cfg = DesConfig { cores: 8, task_overhead_ns: 10.0, ..Default::default() };
+        let r = simulate(&cfg, &uniform(8, 1_000_000.0));
+        assert!(r.utilization() > 0.98, "{}", r.utilization());
+    }
+
+    #[test]
+    fn stealing_rebalances_a_skewed_load() {
+        // All 16 tasks land on core 0's queue via pinning? No — pinned
+        // tasks are never stolen. Instead: round-robin with 2 cores but
+        // tasks of very different sizes.
+        let mut tasks = uniform(2, 10_000.0);
+        tasks.extend(uniform(14, 100.0));
+        let steal = simulate(
+            &DesConfig { cores: 4, task_overhead_ns: 1.0, steal_latency_ns: 5.0, steal_enabled: true },
+            &tasks,
+        );
+        let no_steal = simulate(
+            &DesConfig { cores: 4, task_overhead_ns: 1.0, steal_latency_ns: 5.0, steal_enabled: false },
+            &tasks,
+        );
+        assert!(steal.makespan_ns <= no_steal.makespan_ns + 1.0);
+    }
+
+    #[test]
+    fn pinned_tasks_stay_put() {
+        // Everything pinned to core 0: makespan is serial even with
+        // stealing enabled.
+        let tasks: Vec<SimTask> =
+            (0..8).map(|_| SimTask { duration_ns: 1000.0, pinned: Some(0) }).collect();
+        let cfg = DesConfig { cores: 4, task_overhead_ns: 0.0, ..Default::default() };
+        let r = simulate(&cfg, &tasks);
+        assert_eq!(r.steals, 0);
+        assert!(r.makespan_ns >= 8000.0 - 8.0, "{}", r.makespan_ns);
+        assert_eq!(r.busy_ns[1], 0.0);
+    }
+
+    #[test]
+    fn fine_grain_is_dominated_by_overhead() {
+        // The paper's grain-size effect: same total work, 1000x more
+        // tasks, overhead swamps compute.
+        let cfg = DesConfig { cores: 4, task_overhead_ns: 500.0, ..Default::default() };
+        let coarse = simulate_step(&cfg, 1e6, 16, 1.0);
+        let fine = simulate_step(&cfg, 1e6, 16_000, 1.0);
+        assert!(fine.makespan_ns > 4.0 * coarse.makespan_ns,
+            "fine {} vs coarse {}", fine.makespan_ns, coarse.makespan_ns);
+    }
+
+    #[test]
+    fn des_agrees_with_analytic_makespan_for_uniform_waves() {
+        // chunks = 4*cores uniform tasks: analytic = 4 waves of
+        // (chunk + overhead).
+        let cfg = DesConfig { cores: 8, task_overhead_ns: 200.0, ..Default::default() };
+        let lups = 8192.0 * 1024.0;
+        let ns_per_lup = 0.5;
+        let chunks = 32;
+        let r = simulate_step(&cfg, lups, chunks, ns_per_lup);
+        let per_chunk = lups / chunks as f64 * ns_per_lup;
+        let analytic = 4.0 * (per_chunk + cfg.task_overhead_ns);
+        let err = (r.makespan_ns - analytic).abs() / analytic;
+        assert!(err < 0.02, "DES {} vs analytic {}", r.makespan_ns, analytic);
+    }
+
+    #[test]
+    fn utilization_definition_is_bounded() {
+        let cfg = DesConfig::default();
+        let r = simulate(&cfg, &uniform(13, 777.0));
+        let u = r.utilization();
+        assert!(u > 0.0 && u <= 1.0, "{u}");
+    }
+}

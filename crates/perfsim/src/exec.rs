@@ -1,0 +1,510 @@
+//! The 2D-stencil timing model behind Figs. 4–8.
+//!
+//! Per active core, one lattice-site update costs the larger of:
+//!
+//! * **pipeline time** — calibrated exposed cycles per LUP
+//!   ([`crate::kernel`]) divided by the clock, and
+//! * **memory time** — effective bytes per LUP (cache-line behaviour from
+//!   [`parallex_machine::cache`]) divided by the bandwidth available to
+//!   the *slowest* core (NUMA saturation + partial-domain penalty from
+//!   [`parallex_machine::numa`]).
+//!
+//! Node throughput is `cores / max(pipeline, memory)`, plus an AMT
+//! scheduling overhead term per chunk task per time step (measured from
+//! our real runtime by the Criterion micro-benchmarks; the default is
+//! conservative). This single formula, driven entirely by the calibrated
+//! coefficients and machine models, generates every series in Figs. 4–8
+//! including the Kunpeng NUMA dips, the A64FX between-the-peaks placement
+//! and the ThunderX2 explicit-vectorization switch.
+
+use crate::kernel::{issue_width, jacobi2d_coeffs, Vectorization};
+use parallex_machine::cache::bytes_per_lup;
+use parallex_machine::numa::{DomainPopulation, MemorySystem};
+use parallex_machine::spec::{Processor, ProcessorId};
+
+/// One simulated 2D-stencil run configuration.
+#[derive(Clone, Debug)]
+pub struct Stencil2dConfig {
+    /// Which machine to model.
+    pub proc: ProcessorId,
+    /// 4 for `f32`, 8 for `f64`.
+    pub elem_bytes: usize,
+    /// Kernel variant.
+    pub vec: Vectorization,
+    /// Grid extent in x (the paper: 8192).
+    pub nx: usize,
+    /// Grid extent in y (the paper: 131072 or 196608).
+    pub ny: usize,
+    /// Time steps (the paper: 100).
+    pub steps: usize,
+    /// Per-task scheduling overhead of the AMT runtime, nanoseconds.
+    pub task_overhead_ns: f64,
+    /// Chunk tasks per time step (the runtime's chunker; the paper's code
+    /// spawns one task per row block). `0` ⇒ 4 per core.
+    pub tasks_per_step: usize,
+}
+
+impl Stencil2dConfig {
+    /// The paper's headline configuration (Figs. 4, 5, 6, 8).
+    pub fn paper(proc: ProcessorId, elem_bytes: usize, vec: Vectorization) -> Self {
+        Stencil2dConfig {
+            proc,
+            elem_bytes,
+            vec,
+            nx: 8192,
+            ny: 131_072,
+            steps: 100,
+            task_overhead_ns: 400.0,
+            tasks_per_step: 0,
+        }
+    }
+
+    /// Fig. 7's enlarged-grid ablation.
+    pub fn paper_large(proc: ProcessorId, elem_bytes: usize, vec: Vectorization) -> Self {
+        let mut c = Self::paper(proc, elem_bytes, vec);
+        c.ny = 196_608;
+        c
+    }
+
+    /// Total lattice-site updates of the run.
+    pub fn total_lups(&self) -> f64 {
+        self.nx as f64 * self.ny as f64 * self.steps as f64
+    }
+}
+
+fn explicit(vec: Vectorization) -> bool {
+    vec == Vectorization::Explicit
+}
+
+/// Seconds one core spends per LUP on the pipeline side.
+pub fn pipeline_time_per_lup_s(proc: &Processor, elem_bytes: usize, vec: Vectorization) -> f64 {
+    let coeffs = jacobi2d_coeffs(proc.id, elem_bytes, vec);
+    coeffs.cycles_per_lup(issue_width(proc.id)) / (proc.clock_ghz * 1e9)
+}
+
+/// Seconds the slowest core spends per LUP on the memory side at a given
+/// active-core count (sequential pinned fill, as the paper benchmarks).
+pub fn memory_time_per_lup_s(
+    proc: &Processor,
+    elem_bytes: usize,
+    vec: Vectorization,
+    cores: usize,
+) -> f64 {
+    let ms = MemorySystem::new(proc);
+    let pop = DomainPopulation::fill_sequential(proc, cores);
+    let bytes = bytes_per_lup(proc.id, elem_bytes, cores, explicit(vec));
+    let bw_gbs = ms.min_per_core_bw(&pop);
+    bytes / (bw_gbs * 1e9)
+}
+
+/// Modeled node throughput in GLUP/s at `cores` active cores.
+pub fn glups_at(cfg: &Stencil2dConfig, cores: usize) -> f64 {
+    glups_with(cfg, cores, 1)
+}
+
+/// [`glups_at`] with `threads_per_core` hardware threads active per core —
+/// the configuration the paper deliberately avoids by pinning one thread
+/// per physical PU (Section VI: "In a hyperthreaded scenario, the pressure
+/// on the cache increases that may result in cache evictions leading to a
+/// possible loss in performance"). The model implements exactly that
+/// argument: extra threads per core (a) defeat the cache-line-reuse
+/// benefit (effective transfers revert to the plain three-per-LUP
+/// scheme), and (b) inflate per-core memory traffic by 15 % per extra
+/// thread (evictions), while adding no bandwidth or issue width.
+///
+/// # Panics
+/// Panics if `threads_per_core` exceeds the hardware SMT width.
+pub fn glups_at_smt(cfg: &Stencil2dConfig, cores: usize, threads_per_core: usize) -> f64 {
+    glups_with(cfg, cores, threads_per_core)
+}
+
+fn glups_with(cfg: &Stencil2dConfig, cores: usize, threads_per_core: usize) -> f64 {
+    let proc = cfg.proc.spec();
+    assert!(cores >= 1 && cores <= proc.total_cores());
+    assert!(
+        threads_per_core >= 1 && threads_per_core <= proc.threads_per_core,
+        "{:?} supports up to {} threads/core",
+        proc.id,
+        proc.threads_per_core
+    );
+    let pipe = pipeline_time_per_lup_s(&proc, cfg.elem_bytes, cfg.vec);
+    let mem = if threads_per_core == 1 {
+        memory_time_per_lup_s(&proc, cfg.elem_bytes, cfg.vec, cores)
+    } else {
+        // SMT: cache pressure reverts the traffic to three transfers per
+        // LUP and adds 15% evictions per extra thread.
+        let ms = MemorySystem::new(&proc);
+        let pop = DomainPopulation::fill_sequential(&proc, cores);
+        let bytes = 3.0
+            * cfg.elem_bytes as f64
+            * (1.0 + 0.15 * (threads_per_core as f64 - 1.0));
+        bytes / (ms.min_per_core_bw(&pop) * 1e9)
+    };
+    let per_lup = pipe.max(mem);
+    let lups_per_step = cfg.nx as f64 * cfg.ny as f64;
+    let compute_per_step = lups_per_step / cores as f64 * per_lup;
+    let tasks = if cfg.tasks_per_step == 0 { 4 * cores } else { cfg.tasks_per_step };
+    // Task spawn/dispatch overhead is paid on the critical path once per
+    // chunk wave per core.
+    let overhead_per_step =
+        cfg.task_overhead_ns * 1e-9 * (tasks as f64 / cores as f64).max(1.0);
+    let step_time = compute_per_step + overhead_per_step;
+    lups_per_step / step_time / 1e9
+}
+
+/// A hypothetical machine to project the benchmark onto: a custom
+/// [`Processor`] description plus the calibrated kernel coefficients of
+/// the most similar real processor and a cache-blocking behaviour.
+///
+/// This is how the "what would the EPI chip do here" question the paper's
+/// introduction gestures at (Arm-based European Processor Initiative
+/// silicon) can be explored: describe the machine, borrow per-LUP kernel
+/// costs from its nearest relative, and run the same model.
+#[derive(Clone, Debug)]
+pub struct CustomMachine {
+    /// The hypothetical hardware.
+    pub proc: Processor,
+    /// Which real processor's calibrated kernel coefficients to borrow
+    /// (instruction mix scales with the ISA, so pick the closest ISA).
+    pub coeffs_from: ProcessorId,
+    /// Cache-blocking behaviour of the stencil on this machine.
+    pub blocking: parallex_machine::cache::CacheBlocking,
+}
+
+/// Modeled node throughput of the paper's 2D stencil on a custom machine,
+/// GLUP/s at `cores` active cores.
+///
+/// # Panics
+/// Panics if `cores` exceeds the machine or `elem_bytes` is not 4/8.
+pub fn glups_custom(
+    m: &CustomMachine,
+    elem_bytes: usize,
+    vec: Vectorization,
+    cores: usize,
+) -> f64 {
+    assert!(cores >= 1 && cores <= m.proc.total_cores());
+    let coeffs = jacobi2d_coeffs(m.coeffs_from, elem_bytes, vec);
+    // Scale the pipeline work by the vector-width ratio between the donor
+    // ISA and the custom machine (wider registers retire more LUPs per
+    // instruction for the explicitly vectorized kernel).
+    let donor = m.coeffs_from.spec();
+    let width_ratio = match vec {
+        Vectorization::Explicit => {
+            m.proc.vector.width_bits as f64 / donor.vector.width_bits as f64
+        }
+        Vectorization::Auto => 1.0,
+    };
+    let cycles = coeffs.cycles_per_lup(issue_width(m.coeffs_from)) / width_ratio.max(1e-9);
+    let pipe = cycles / (m.proc.clock_ghz * 1e9);
+    let ms = MemorySystem::new(&m.proc);
+    let pop = DomainPopulation::fill_sequential(&m.proc, cores);
+    let bytes = m.blocking.transfers_per_lup(elem_bytes, cores, vec == Vectorization::Explicit)
+        * elem_bytes as f64;
+    let mem = bytes / (ms.min_per_core_bw(&pop) * 1e9);
+    let per_lup = pipe.max(mem);
+    cores as f64 / per_lup / 1e9
+}
+
+/// Modeled wall-clock of the whole run, seconds.
+pub fn wall_time_s(cfg: &Stencil2dConfig, cores: usize) -> f64 {
+    cfg.total_lups() / (glups_at(cfg, cores) * 1e9)
+}
+
+/// The `(cores, GLUP/s)` series for a machine's standard core sweep — one
+/// line of Figs. 4–8.
+pub fn series(cfg: &Stencil2dConfig) -> Vec<(usize, f64)> {
+    cfg.proc
+        .spec()
+        .core_sweep()
+        .into_iter()
+        .map(|c| (c, glups_at(cfg, c)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Vectorization::{Auto, Explicit};
+
+    fn peak_glups(cfg: &Stencil2dConfig) -> f64 {
+        let p = cfg.proc.spec();
+        glups_at(cfg, p.total_cores())
+    }
+
+    #[test]
+    fn xeon_float_gains_up_to_50_percent_from_explicit_vec() {
+        // Section VII-B: "improvements of up to 50% with vectorized
+        // floats" on Xeon E5.
+        let auto = Stencil2dConfig::paper(ProcessorId::XeonE5_2660v3, 4, Auto);
+        let expl = Stencil2dConfig::paper(ProcessorId::XeonE5_2660v3, 4, Explicit);
+        let best_gain = (1..=20)
+            .map(|c| glups_at(&expl, c) / glups_at(&auto, c))
+            .fold(0.0f64, f64::max);
+        assert!((1.35..1.75).contains(&best_gain), "{best_gain}");
+    }
+
+    #[test]
+    fn xeon_double_gains_are_modest() {
+        // "only up to 10% improvements in performances" for doubles.
+        let auto = Stencil2dConfig::paper(ProcessorId::XeonE5_2660v3, 8, Auto);
+        let expl = Stencil2dConfig::paper(ProcessorId::XeonE5_2660v3, 8, Explicit);
+        let best_gain = (1..=20)
+            .map(|c| glups_at(&expl, c) / glups_at(&auto, c))
+            .fold(0.0f64, f64::max);
+        assert!((1.02..1.25).contains(&best_gain), "{best_gain}");
+    }
+
+    #[test]
+    fn kunpeng_gains_approach_80_percent() {
+        // "HiSilicon Hi1616 shows up to 80% improvements with explicit
+        // vectorization."
+        let auto = Stencil2dConfig::paper(ProcessorId::Kunpeng916, 4, Auto);
+        let expl = Stencil2dConfig::paper(ProcessorId::Kunpeng916, 4, Explicit);
+        let gain = peak_glups(&expl) / peak_glups(&auto);
+        assert!((1.55..1.95).contains(&gain), "{gain}");
+    }
+
+    #[test]
+    fn kunpeng_dips_at_40_and_56_cores() {
+        let cfg = Stencil2dConfig::paper(ProcessorId::Kunpeng916, 4, Explicit);
+        let g = |c| glups_at(&cfg, c);
+        assert!(g(40) < g(32), "40-core dip: {} vs {}", g(40), g(32));
+        assert!(g(48) > g(40));
+        assert!(g(56) < g(48), "56-core dip");
+        assert!(g(64) > g(56));
+    }
+
+    #[test]
+    fn tx2_float_gains_50_to_60_percent_at_scale() {
+        // "These improvements were consistently within 50-60% for floats".
+        let auto = Stencil2dConfig::paper(ProcessorId::ThunderX2, 4, Auto);
+        let expl = Stencil2dConfig::paper(ProcessorId::ThunderX2, 4, Explicit);
+        let gain = peak_glups(&expl) / peak_glups(&auto);
+        assert!((1.4..1.7).contains(&gain), "{gain}");
+    }
+
+    #[test]
+    fn tx2_double_gains_up_to_40_percent() {
+        let auto = Stencil2dConfig::paper(ProcessorId::ThunderX2, 8, Auto);
+        let expl = Stencil2dConfig::paper(ProcessorId::ThunderX2, 8, Explicit);
+        let gain = peak_glups(&expl) / peak_glups(&auto);
+        assert!((1.25..1.55).contains(&gain), "{gain}");
+    }
+
+    #[test]
+    fn tx2_switch_appears_at_16_cores() {
+        // Below 16 cores explicit ≈ auto; from 16 cores explicit pulls
+        // ahead (the AI regime switch).
+        let auto = Stencil2dConfig::paper(ProcessorId::ThunderX2, 4, Auto);
+        let expl = Stencil2dConfig::paper(ProcessorId::ThunderX2, 4, Explicit);
+        let low = glups_at(&expl, 8) / glups_at(&auto, 8);
+        let high = glups_at(&expl, 32) / glups_at(&auto, 32);
+        assert!(low < 1.15, "{low}");
+        assert!(high > 1.3, "{high}");
+    }
+
+    #[test]
+    fn a64fx_gains_are_5_to_15_percent() {
+        // "The improvements are anywhere from 5% to 15%."
+        let auto = Stencil2dConfig::paper(ProcessorId::A64FX, 4, Auto);
+        let expl = Stencil2dConfig::paper(ProcessorId::A64FX, 4, Explicit);
+        let best_gain = [1, 4, 12, 24, 36, 48]
+            .iter()
+            .map(|&c| glups_at(&expl, c) / glups_at(&auto, c))
+            .fold(0.0f64, f64::max);
+        assert!((1.02..1.2).contains(&best_gain), "{best_gain}");
+    }
+
+    #[test]
+    fn a64fx_wall_times_match_paper() {
+        // Section VII-B: "less than 2s for scalar and vector floats and
+        // about 3.5s for scalar and vector doubles" at 48 cores.
+        for vec in [Auto, Explicit] {
+            let f = Stencil2dConfig::paper(ProcessorId::A64FX, 4, vec);
+            let t = wall_time_s(&f, 48);
+            assert!(t < 2.2, "float {vec:?}: {t}");
+            let d = Stencil2dConfig::paper(ProcessorId::A64FX, 8, vec);
+            let t = wall_time_s(&d, 48);
+            assert!((2.8..4.2).contains(&t), "double {vec:?}: {t}");
+        }
+    }
+
+    #[test]
+    fn a64fx_sits_between_the_two_expected_peaks() {
+        // Fig. 6: results land between the 3-transfer and 2-transfer
+        // rooflines at full node.
+        let p = ProcessorId::A64FX.spec();
+        let cfg = Stencil2dConfig::paper(ProcessorId::A64FX, 4, Explicit);
+        let measured = glups_at(&cfg, 48);
+        let peak_min = parallex_roofline_expected(&p, 4, 48, 3.0);
+        let peak_max = parallex_roofline_expected(&p, 4, 48, 2.0);
+        assert!(measured > peak_min, "{measured} vs min {peak_min}");
+        assert!(measured <= peak_max * 1.01, "{measured} vs max {peak_max}");
+    }
+
+    // Local copy of the roofline expected-peak (perfsim does not depend on
+    // parallex-roofline to keep the dependency graph a DAG of small
+    // crates; the bench crate cross-checks the two).
+    fn parallex_roofline_expected(
+        p: &Processor,
+        elem_bytes: usize,
+        cores: usize,
+        transfers: f64,
+    ) -> f64 {
+        let ms = MemorySystem::new(p);
+        let bw = ms.stream_aggregate_gbs(&DomainPopulation::fill_sequential(p, cores));
+        bw / (transfers * elem_bytes as f64)
+    }
+
+    #[test]
+    fn a64fx_crushes_the_other_processors() {
+        // "Compared to the other processors, the execution time is
+        // significantly lower."
+        let a64 = peak_glups(&Stencil2dConfig::paper(ProcessorId::A64FX, 4, Explicit));
+        for id in [ProcessorId::XeonE5_2660v3, ProcessorId::Kunpeng916, ProcessorId::ThunderX2] {
+            let other = peak_glups(&Stencil2dConfig::paper(id, 4, Explicit));
+            assert!(a64 > 2.0 * other, "{id:?}: {a64} vs {other}");
+        }
+    }
+
+    #[test]
+    fn larger_grid_changes_nothing_on_a64fx() {
+        // Fig. 7: "no performance benefits in increasing grid size".
+        for vec in [Auto, Explicit] {
+            let base = Stencil2dConfig::paper(ProcessorId::A64FX, 4, vec);
+            let large = Stencil2dConfig::paper_large(ProcessorId::A64FX, 4, vec);
+            let a = glups_at(&base, 48);
+            let b = glups_at(&large, 48);
+            assert!((a - b).abs() / a < 0.02, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn hyperthreading_never_beats_pinning() {
+        // The paper pins one thread per physical core; the SMT model must
+        // agree that was the right call on every SMT-capable machine.
+        for (id, smt) in [(ProcessorId::XeonE5_2660v3, 2), (ProcessorId::ThunderX2, 4)] {
+            for bytes in [4, 8] {
+                for vec in [Auto, Explicit] {
+                    let cfg = Stencil2dConfig::paper(id, bytes, vec);
+                    for cores in [1, id.spec().total_cores()] {
+                        let pinned = glups_at(&cfg, cores);
+                        for t in 2..=smt {
+                            let ht = glups_at_smt(&cfg, cores, t);
+                            assert!(
+                                ht <= pinned * 1.0001,
+                                "{id:?} {bytes}B {vec:?} @{cores}x{t}: {ht} > {pinned}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threads/core")]
+    fn smt_width_is_enforced() {
+        let cfg = Stencil2dConfig::paper(ProcessorId::A64FX, 4, Auto);
+        let _ = glups_at_smt(&cfg, 4, 2); // A64FX has no SMT
+    }
+
+    #[test]
+    fn throughput_is_finite_and_positive_everywhere() {
+        for id in ProcessorId::ALL {
+            for bytes in [4, 8] {
+                for vec in [Auto, Explicit] {
+                    let cfg = Stencil2dConfig::paper(id, bytes, vec);
+                    for c in id.spec().core_sweep() {
+                        let g = glups_at(&cfg, c);
+                        assert!(g.is_finite() && g > 0.0, "{id:?} {bytes} {vec:?} @{c}: {g}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_grain_sizes_hurt_throughput() {
+        // The AMT-overhead term: thousands of tiny tasks per step cost
+        // real throughput (the paper's grain-size discussion).
+        let mut coarse = Stencil2dConfig::paper(ProcessorId::A64FX, 4, Explicit);
+        coarse.tasks_per_step = 4 * 48;
+        let mut fine = coarse.clone();
+        fine.ny = 1024; // small grid => overhead no longer amortized
+        fine.tasks_per_step = 131_072; // one task per row of the big grid
+        let g_coarse = glups_at(&coarse, 48);
+        let g_fine = glups_at(&fine, 48);
+        assert!(g_fine < g_coarse * 0.5, "{g_fine} vs {g_coarse}");
+    }
+
+    #[test]
+    fn wall_time_is_consistent_with_glups() {
+        let cfg = Stencil2dConfig::paper(ProcessorId::XeonE5_2660v3, 8, Auto);
+        let g = glups_at(&cfg, 20);
+        let t = wall_time_s(&cfg, 20);
+        assert!((t - cfg.total_lups() / (g * 1e9)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_machine_reproduces_its_donor() {
+        // A custom machine identical to the donor must land close to the
+        // plain model (the plain model adds only AMT overhead).
+        let donor = ProcessorId::A64FX;
+        let m = CustomMachine {
+            proc: donor.spec(),
+            coeffs_from: donor,
+            blocking: parallex_machine::cache::CacheBlocking::of(donor),
+        };
+        for cores in [12usize, 48] {
+            let custom = glups_custom(&m, 4, Explicit, cores);
+            let plain = glups_at(&Stencil2dConfig::paper(donor, 4, Explicit), cores);
+            let err = (custom - plain).abs() / plain;
+            assert!(err < 0.02, "@{cores}: {custom} vs {plain}");
+        }
+    }
+
+    #[test]
+    fn hypothetical_epi_projection_is_sane() {
+        // An EPI-like chip: 64 SVE-256 cores, 2 GHz, DDR5-class bandwidth
+        // over 4 domains, coefficients borrowed from the A64FX (nearest
+        // SVE relative).
+        let epi = CustomMachine {
+            proc: Processor {
+                id: ProcessorId::A64FX, // tag unused by glups_custom
+                clock_ghz: 2.0,
+                cores_per_socket: 64,
+                sockets: 1,
+                threads_per_core: 1,
+                vector: parallex_machine::spec::VectorPipeline {
+                    width_bits: 256,
+                    pipes: 2,
+                    isa_name: "SVE",
+                },
+                numa_domains: 4,
+                domain_bw_gbs: 75.0,
+                core_bw_gbs: 12.0,
+                cache_line_bytes: 64,
+                llc_per_domain_bytes: 32 * 1024 * 1024,
+                partial_domain_penalty: 0.9,
+            },
+            coeffs_from: ProcessorId::A64FX,
+            blocking: parallex_machine::cache::CacheBlocking::None,
+        };
+        let g = glups_custom(&epi, 4, Explicit, 64);
+        // Memory-bound: 300 GB/s / 12 B = 25 GLUP/s roof.
+        assert!(g > 10.0 && g <= 25.1, "{g}");
+        // Narrower SVE than the donor: the explicit pipeline is slower per
+        // instruction stream, so at 1 core the custom machine is below a
+        // same-clock A64FX.
+        let one = glups_custom(&epi, 4, Explicit, 1);
+        assert!(one > 0.0 && one < 3.0, "{one}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cores_rejected() {
+        let cfg = Stencil2dConfig::paper(ProcessorId::A64FX, 4, Auto);
+        let _ = glups_at(&cfg, 0);
+    }
+}

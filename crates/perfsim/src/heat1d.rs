@@ -1,0 +1,219 @@
+//! The distributed 1D-stencil scaling model (Fig. 3).
+//!
+//! Per node and per time step the solver (Listing 1) updates its block of
+//! stencil points and exchanges two boundary cells with its neighbours.
+//! The per-step time is
+//!
+//! ```text
+//! step = max(pipeline, memory) * points_per_node / cores  +  exposed_net
+//! ```
+//!
+//! where `exposed_net` comes from `parallex-netsim`'s latency-hiding
+//! analysis: ≈0 on the Xeon/TX2/A64FX fabrics (the paper's "network
+//! latencies are aptly hidden"), and the full congested wire time on the
+//! Hi1616 partition (the paper's broken Kunpeng scaling).
+
+use crate::kernel::{heat1d_cycles_per_lup, HEAT1D_BYTES_PER_LUP};
+use parallex_machine::cluster::ClusterSpec;
+use parallex_machine::numa::{DomainPopulation, MemorySystem};
+use parallex_machine::spec::ProcessorId;
+use parallex_netsim::halo::exposed_step_overhead_us;
+
+/// Strong scaling (fixed total) or weak scaling (fixed per node), the two
+/// panels of Fig. 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScalingMode {
+    /// Fixed problem: the paper's 1.2 billion points split over the nodes.
+    Strong {
+        /// Total stencil points.
+        total_points: u64,
+    },
+    /// Fixed per-node share: the paper's 480 million points per node.
+    Weak {
+        /// Stencil points per node.
+        points_per_node: u64,
+    },
+}
+
+/// One Fig. 3 experiment.
+#[derive(Clone, Debug)]
+pub struct Heat1dConfig {
+    /// Which machine/cluster to model.
+    pub proc: ProcessorId,
+    /// Strong or weak scaling.
+    pub mode: ScalingMode,
+    /// Time steps (the paper: 100).
+    pub steps: usize,
+    /// Halo bytes exchanged per step per neighbour (two f64 cells + parcel
+    /// framing).
+    pub halo_bytes: usize,
+    /// Fixed per-step runtime cost on the critical path (dataflow chain
+    /// dispatch, partition sync), microseconds. Calibrated: 3 ms/step
+    /// reproduces the paper's 7.36x/7.2x eight-node speedups on
+    /// Xeon/A64FX (perfect overlap would give exactly 8x).
+    pub step_overhead_us: f64,
+}
+
+impl Heat1dConfig {
+    /// The paper's strong-scaling run (1.2 G points, 100 steps).
+    pub fn paper_strong(proc: ProcessorId) -> Self {
+        Heat1dConfig {
+            proc,
+            mode: ScalingMode::Strong { total_points: 1_200_000_000 },
+            steps: 100,
+            halo_bytes: 64,
+            step_overhead_us: 3000.0,
+        }
+    }
+
+    /// The paper's weak-scaling run (480 M points per node, 100 steps).
+    pub fn paper_weak(proc: ProcessorId) -> Self {
+        Heat1dConfig {
+            proc,
+            mode: ScalingMode::Weak { points_per_node: 480_000_000 },
+            steps: 100,
+            halo_bytes: 64,
+            step_overhead_us: 3000.0,
+        }
+    }
+
+    /// Points each node owns at `nodes` nodes.
+    pub fn points_per_node(&self, nodes: usize) -> f64 {
+        match self.mode {
+            ScalingMode::Strong { total_points } => total_points as f64 / nodes as f64,
+            ScalingMode::Weak { points_per_node } => points_per_node as f64,
+        }
+    }
+}
+
+/// Per-LUP time of the slowest core with the whole node active, seconds.
+fn per_lup_time_s(proc: ProcessorId) -> f64 {
+    let spec = proc.spec();
+    let pipe = heat1d_cycles_per_lup(proc) / (spec.clock_ghz * 1e9);
+    let ms = MemorySystem::new(&spec);
+    let pop = DomainPopulation::fill_sequential(&spec, spec.total_cores());
+    let mem = HEAT1D_BYTES_PER_LUP / (ms.min_per_core_bw(&pop) * 1e9);
+    pipe.max(mem)
+}
+
+/// Modeled wall-clock of the full run at `nodes` nodes, seconds.
+pub fn time_seconds(cfg: &Heat1dConfig, nodes: usize) -> f64 {
+    assert!(nodes >= 1);
+    let cluster = ClusterSpec::for_processor(cfg.proc);
+    let spec = cfg.proc.spec();
+    let pts = cfg.points_per_node(nodes);
+    let compute_step_s = pts / spec.total_cores() as f64 * per_lup_time_s(cfg.proc);
+    let exposed_us = exposed_step_overhead_us(
+        &cluster.network,
+        cfg.halo_bytes,
+        nodes,
+        compute_step_s * 1e6,
+    );
+    cfg.steps as f64 * (compute_step_s + (cfg.step_overhead_us + exposed_us) * 1e-6)
+}
+
+/// The `(nodes, seconds)` series of one Fig. 3 line.
+pub fn series(cfg: &Heat1dConfig) -> Vec<(usize, f64)> {
+    ClusterSpec::for_processor(cfg.proc)
+        .node_sweep()
+        .into_iter()
+        .map(|n| (n, time_seconds(cfg, n)))
+        .collect()
+}
+
+/// Strong-scaling speedup from 1 to `nodes` nodes.
+pub fn speedup(cfg: &Heat1dConfig, nodes: usize) -> f64 {
+    time_seconds(cfg, 1) / time_seconds(cfg, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_strong_matches_paper_28s_and_3_8s() {
+        // Section VII-A: "the application takes 28s … for a single node
+        // and 3.8s … involving eight nodes" (factor 7.36).
+        let cfg = Heat1dConfig::paper_strong(ProcessorId::XeonE5_2660v3);
+        let t1 = time_seconds(&cfg, 1);
+        let t8 = time_seconds(&cfg, 8);
+        assert!((25.0..31.0).contains(&t1), "{t1}");
+        assert!((3.2..4.4).contains(&t8), "{t8}");
+        let factor = t1 / t8;
+        assert!((6.8..8.0).contains(&factor), "{factor}");
+    }
+
+    #[test]
+    fn a64fx_strong_matches_paper_18s_and_2_5s() {
+        // "…18s … and 2.5s respectively" (factor 7.2).
+        let cfg = Heat1dConfig::paper_strong(ProcessorId::A64FX);
+        let t1 = time_seconds(&cfg, 1);
+        let t8 = time_seconds(&cfg, 8);
+        assert!((16.0..20.0).contains(&t1), "{t1}");
+        assert!((2.0..3.0).contains(&t8), "{t8}");
+    }
+
+    #[test]
+    fn weak_scaling_is_flat_on_good_fabrics() {
+        // "the application takes 12s and 7.5s respectively irrespective of
+        // the number of nodes".
+        let xeon = Heat1dConfig::paper_weak(ProcessorId::XeonE5_2660v3);
+        let t1 = time_seconds(&xeon, 1);
+        let t8 = time_seconds(&xeon, 8);
+        assert!((10.0..13.5).contains(&t1), "{t1}");
+        assert!((t8 - t1).abs() / t1 < 0.02, "flat: {t1} vs {t8}");
+
+        let a64 = Heat1dConfig::paper_weak(ProcessorId::A64FX);
+        let t1 = time_seconds(&a64, 1);
+        assert!((6.3..8.4).contains(&t1), "{t1}");
+    }
+
+    #[test]
+    fn kunpeng_strong_scaling_is_broken() {
+        // "For Kunpeng 916, we do not observe linear scaling."
+        let cfg = Heat1dConfig::paper_strong(ProcessorId::Kunpeng916);
+        let s8 = speedup(&cfg, 8);
+        assert!(s8 < 5.5, "far from linear: {s8}");
+        assert!(s8 > 1.5, "but still some scaling: {s8}");
+    }
+
+    #[test]
+    fn kunpeng_weak_scaling_blows_up() {
+        // "a significant increase in execution times as we increase the
+        // number of nodes".
+        let cfg = Heat1dConfig::paper_weak(ProcessorId::Kunpeng916);
+        let t1 = time_seconds(&cfg, 1);
+        let t8 = time_seconds(&cfg, 8);
+        assert!(t8 > 1.25 * t1, "{t1} -> {t8}");
+    }
+
+    #[test]
+    fn tx2_scales_nearly_linearly() {
+        // "all processors except Kunpeng 916 showed good scaling results".
+        let cfg = Heat1dConfig::paper_strong(ProcessorId::ThunderX2);
+        let s8 = speedup(&cfg, 8);
+        assert!(s8 > 6.5, "{s8}");
+    }
+
+    #[test]
+    fn strong_scaling_times_decrease_with_nodes() {
+        for id in ProcessorId::ALL {
+            let cfg = Heat1dConfig::paper_strong(id);
+            let s = series(&cfg);
+            for w in s.windows(2) {
+                assert!(w[1].1 < w[0].1, "{id:?}: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn weak_scaling_times_never_decrease() {
+        for id in ProcessorId::ALL {
+            let cfg = Heat1dConfig::paper_weak(id);
+            let s = series(&cfg);
+            for w in s.windows(2) {
+                assert!(w[1].1 >= w[0].1 - 1e-9, "{id:?}: {w:?}");
+            }
+        }
+    }
+}

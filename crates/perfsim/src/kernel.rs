@@ -1,0 +1,299 @@
+//! Calibrated kernel cost coefficients.
+//!
+//! Everything the timing model and the counter emulation need about the 2D
+//! Jacobi kernel is condensed into *per-lattice-site-update* coefficients:
+//! retired instructions, cache misses, L2 misses, frontend- and
+//! backend-stall cycles. The values are **calibrated from the paper's own
+//! hardware-counter tables** (Tables III–VI, measured on a 8192×16384 grid
+//! over 100 iterations on a single core — `REF_LUPS` updates), entered
+//! here as the absolute counts the paper prints divided by `REF_LUPS`.
+//!
+//! Where the paper notes a counter is unsupported (CPU stalls on Xeon
+//! E5-2660 v3 and Kunpeng 916, Section VII-B), the stall coefficients are
+//! *our estimates*, fitted so the derived performance curves reproduce the
+//! paper's reported auto-vs-explicit vectorization gaps (+50 % float /
+//! +10 % double on Xeon, up to +80 % on Kunpeng); they are marked
+//! [`Provenance::Estimated`] and excluded from the reproduced tables.
+
+use parallex_machine::spec::ProcessorId;
+
+/// LUPs of the counter-measurement workload (Section VI "Hardware
+/// Counters": 8192 × 16384 grid, 100 iterations, one core).
+pub const REF_LUPS: f64 = 8192.0 * 16384.0 * 100.0;
+
+/// Whether a coefficient comes from the paper's tables or is our fit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Provenance {
+    /// Printed in Tables III–VI.
+    Paper,
+    /// Not measurable on that machine (or not reported); fitted to the
+    /// reported performance ratios.
+    Estimated,
+}
+
+/// Auto-vectorized (GCC `-O3 -ftree-vectorize -ffast-math`) vs. explicitly
+/// vectorized (NSIMD packs) kernel variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Vectorization {
+    /// Compiler auto-vectorization of the scalar kernel.
+    Auto,
+    /// Explicit packs (the paper's NSIMD kernels; our `parallex-simd`).
+    Explicit,
+}
+
+impl Vectorization {
+    /// The paper's table row labels ("Float" vs "Vector Float").
+    pub fn label(self, elem_bytes: usize) -> &'static str {
+        match (self, elem_bytes) {
+            (Vectorization::Auto, 4) => "Float",
+            (Vectorization::Explicit, 4) => "Vector Float",
+            (Vectorization::Auto, 8) => "Double",
+            (Vectorization::Explicit, 8) => "Vector Double",
+            _ => panic!("elem_bytes must be 4 or 8"),
+        }
+    }
+}
+
+/// Per-LUP kernel cost coefficients for one (machine, dtype, variant).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelCoeffs {
+    /// Retired instructions per LUP.
+    pub instr: f64,
+    /// Last-level cache misses per LUP.
+    pub cache_misses: f64,
+    /// L2 cache misses per LUP (reported separately only for ThunderX2).
+    pub l2_misses: f64,
+    /// Frontend stall cycles per LUP.
+    pub fe_stalls: f64,
+    /// Backend stall cycles per LUP.
+    pub be_stalls: f64,
+    /// Whether the stall coefficients are from the paper or estimated.
+    pub stall_provenance: Provenance,
+}
+
+impl KernelCoeffs {
+    /// Exposed pipeline cycles per LUP: issue-limited instruction stream
+    /// plus both stall categories. This is the core-side (non-bandwidth)
+    /// time of one update.
+    pub fn cycles_per_lup(&self, issue_width: f64) -> f64 {
+        self.instr / issue_width + self.fe_stalls + self.be_stalls
+    }
+}
+
+/// Sustained issue width (instructions per cycle) assumed per core.
+pub fn issue_width(id: ProcessorId) -> f64 {
+    match id {
+        ProcessorId::XeonE5_2660v3 => 4.0,
+        ProcessorId::Kunpeng916 => 2.0,
+        ProcessorId::ThunderX2 => 3.0,
+        ProcessorId::A64FX => 4.0,
+    }
+}
+
+/// The calibrated coefficients for the 2D Jacobi kernel.
+///
+/// # Panics
+/// Panics if `elem_bytes` is not 4 or 8.
+pub fn jacobi2d_coeffs(id: ProcessorId, elem_bytes: usize, vec: Vectorization) -> KernelCoeffs {
+    use Vectorization::{Auto, Explicit};
+    let k = |instr: f64, miss: f64, l2: f64, fe: f64, be: f64, prov: Provenance| KernelCoeffs {
+        instr: instr / REF_LUPS,
+        cache_misses: miss / REF_LUPS,
+        l2_misses: l2 / REF_LUPS,
+        fe_stalls: fe / REF_LUPS,
+        be_stalls: be / REF_LUPS,
+        stall_provenance: prov,
+    };
+    // Estimated stall-cycles-per-LUP (entered as absolute counts for
+    // uniformity: value * REF_LUPS).
+    let est = |c: f64| c * REF_LUPS;
+    match (id, elem_bytes, vec) {
+        // ---- Table III: Intel Xeon E5-2660 v3 (stall counters
+        // unsupported; BE estimates fitted to the +50 %/+10 % gaps). ----
+        (ProcessorId::XeonE5_2660v3, 4, Auto) => {
+            k(3.153e10, 2.121e8, 2.121e8, 0.0, est(2.9), Provenance::Estimated)
+        }
+        (ProcessorId::XeonE5_2660v3, 4, Explicit) => {
+            k(1.783e10, 3.706e8, 3.706e8, 0.0, est(1.0), Provenance::Estimated)
+        }
+        (ProcessorId::XeonE5_2660v3, 8, Auto) => {
+            k(6.01e10, 4.74e8, 4.74e8, 0.0, est(4.0), Provenance::Estimated)
+        }
+        (ProcessorId::XeonE5_2660v3, 8, Explicit) => {
+            k(3.507e10, 8.751e8, 8.751e8, 0.0, est(1.2), Provenance::Estimated)
+        }
+        // ---- Table IV: HiSilicon Kunpeng 916 / Hi1616 (stall counters
+        // unsupported; estimates fitted to the up-to-+80 % gap). ----
+        (ProcessorId::Kunpeng916, 4, Auto) => {
+            k(4.3e10, 3.148e9, 3.148e9, 0.0, est(23.5), Provenance::Estimated)
+        }
+        (ProcessorId::Kunpeng916, 4, Explicit) => {
+            k(4.144e10, 2.512e9, 2.512e9, 0.0, est(13.0), Provenance::Estimated)
+        }
+        (ProcessorId::Kunpeng916, 8, Auto) => {
+            k(8.321e10, 5.639e9, 5.639e9, 0.0, est(38.0), Provenance::Estimated)
+        }
+        (ProcessorId::Kunpeng916, 8, Explicit) => {
+            k(8.236e10, 4.953e9, 4.953e9, 0.0, est(20.0), Provenance::Estimated)
+        }
+        // ---- Table V: Fujitsu A64FX (all stall counts from the paper;
+        // the paper reports cache misses only as "very similar", so both
+        // variants share the line-size-derived value). ----
+        (ProcessorId::A64FX, 4, Auto) => {
+            k(1.284e10, 4.2e8, 4.2e8, 3.801e8, 9.43e9, Provenance::Paper)
+        }
+        (ProcessorId::A64FX, 4, Explicit) => {
+            k(1.496e10, 4.2e8, 4.2e8, 2.918e8, 8.003e9, Provenance::Paper)
+        }
+        (ProcessorId::A64FX, 8, Auto) => {
+            k(2.299e10, 8.4e8, 8.4e8, 3.86e8, 1.871e10, Provenance::Paper)
+        }
+        (ProcessorId::A64FX, 8, Explicit) => {
+            k(2.956e10, 8.4e8, 8.4e8, 3.56e8, 1.443e10, Provenance::Paper)
+        }
+        // ---- Table VI: Marvell ThunderX2 (L2 misses and BE stalls from
+        // the paper; FE from the Section VII-B in-text 32-core figures,
+        // scaled). ----
+        (ProcessorId::ThunderX2, 4, Auto) => {
+            k(4.039e10, 1.811e9, 1.811e9, 1.144e8, 1.522e10, Provenance::Paper)
+        }
+        (ProcessorId::ThunderX2, 4, Explicit) => {
+            k(4.394e10, 1.69e9, 1.69e9, 7.867e7, 6.437e9, Provenance::Paper)
+        }
+        (ProcessorId::ThunderX2, 8, Auto) => {
+            k(8.065e10, 5.716e9, 5.716e9, 1.144e8, 3.298e10, Provenance::Paper)
+        }
+        (ProcessorId::ThunderX2, 8, Explicit) => {
+            k(8.756e10, 6.055e9, 6.055e9, 7.867e7, 2.826e10, Provenance::Paper)
+        }
+        _ => panic!("elem_bytes must be 4 or 8"),
+    }
+}
+
+/// Calibrated core-side cycles per LUP of the (double-precision) 1D heat
+/// kernel, Listing 1 — fitted to the paper's Fig. 3 wall-clock numbers
+/// (Xeon 28 s → 12 cycles, A64FX 18 s → 15.8 cycles for 1.2 G points over
+/// 100 steps on one node; see EXPERIMENTS.md).
+pub fn heat1d_cycles_per_lup(id: ProcessorId) -> f64 {
+    match id {
+        ProcessorId::XeonE5_2660v3 => 12.0,
+        ProcessorId::Kunpeng916 => 20.0,
+        ProcessorId::ThunderX2 => 14.0,
+        ProcessorId::A64FX => 15.8,
+    }
+}
+
+/// Main-memory traffic of the 1D heat kernel, bytes per LUP (double
+/// precision: stream the old grid in and the new grid out, plus one
+/// read-for-ownership share — the usual 24 B/LUP accounting).
+pub const HEAT1D_BYTES_PER_LUP: f64 = 24.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ref_lups_matches_counter_workload() {
+        assert_eq!(REF_LUPS, 1.34217728e10);
+    }
+
+    #[test]
+    fn xeon_instruction_ratio_is_2x() {
+        // Section VII-B: "a 2x difference in instruction count between
+        // scalar and vector types" on Xeon.
+        for bytes in [4, 8] {
+            let auto = jacobi2d_coeffs(ProcessorId::XeonE5_2660v3, bytes, Vectorization::Auto);
+            let expl =
+                jacobi2d_coeffs(ProcessorId::XeonE5_2660v3, bytes, Vectorization::Explicit);
+            let ratio = auto.instr / expl.instr;
+            assert!((1.6..2.1).contains(&ratio), "{bytes}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn kunpeng_instruction_delta_is_small() {
+        // Section VII-B: "a mere 5% improvement in instruction count".
+        let auto = jacobi2d_coeffs(ProcessorId::Kunpeng916, 4, Vectorization::Auto);
+        let expl = jacobi2d_coeffs(ProcessorId::Kunpeng916, 4, Vectorization::Explicit);
+        let delta = (auto.instr - expl.instr) / auto.instr;
+        assert!((0.0..0.08).contains(&delta), "{delta}");
+    }
+
+    #[test]
+    fn kunpeng_cache_misses_drop_10_to_20_percent_with_explicit_vec() {
+        let auto = jacobi2d_coeffs(ProcessorId::Kunpeng916, 4, Vectorization::Auto);
+        let expl = jacobi2d_coeffs(ProcessorId::Kunpeng916, 4, Vectorization::Explicit);
+        let drop = 1.0 - expl.cache_misses / auto.cache_misses;
+        assert!((0.1..0.25).contains(&drop), "{drop}");
+    }
+
+    #[test]
+    fn a64fx_gcc_beats_explicit_on_instruction_count() {
+        // Section VII-B: "GCC does a better job of optimizing the
+        // instruction count than our explicitly vectorized code".
+        for bytes in [4, 8] {
+            let auto = jacobi2d_coeffs(ProcessorId::A64FX, bytes, Vectorization::Auto);
+            let expl = jacobi2d_coeffs(ProcessorId::A64FX, bytes, Vectorization::Explicit);
+            assert!(auto.instr < expl.instr, "{bytes}");
+        }
+    }
+
+    #[test]
+    fn tx2_explicit_vec_slashes_backend_stalls() {
+        // Table VI: BE stalls 1.522e10 -> 6.437e9 for floats (2.4x).
+        let auto = jacobi2d_coeffs(ProcessorId::ThunderX2, 4, Vectorization::Auto);
+        let expl = jacobi2d_coeffs(ProcessorId::ThunderX2, 4, Vectorization::Explicit);
+        assert!(auto.be_stalls / expl.be_stalls > 2.0);
+    }
+
+    #[test]
+    fn stall_provenance_marks_unsupported_machines() {
+        for (id, want) in [
+            (ProcessorId::XeonE5_2660v3, Provenance::Estimated),
+            (ProcessorId::Kunpeng916, Provenance::Estimated),
+            (ProcessorId::ThunderX2, Provenance::Paper),
+            (ProcessorId::A64FX, Provenance::Paper),
+        ] {
+            let c = jacobi2d_coeffs(id, 8, Vectorization::Auto);
+            assert_eq!(c.stall_provenance, want, "{id:?}");
+        }
+    }
+
+    #[test]
+    fn cycles_per_lup_accounts_for_issue_and_stalls() {
+        let c = KernelCoeffs {
+            instr: 4.0,
+            cache_misses: 0.0,
+            l2_misses: 0.0,
+            fe_stalls: 0.5,
+            be_stalls: 1.5,
+            stall_provenance: Provenance::Paper,
+        };
+        assert_eq!(c.cycles_per_lup(4.0), 3.0);
+    }
+
+    #[test]
+    fn double_instr_is_about_twice_float_instr() {
+        // Same vector width holds half as many doubles.
+        for id in ProcessorId::ALL {
+            let f = jacobi2d_coeffs(id, 4, Vectorization::Auto).instr;
+            let d = jacobi2d_coeffs(id, 8, Vectorization::Auto).instr;
+            let ratio = d / f;
+            assert!((1.7..2.1).contains(&ratio), "{id:?}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_rows() {
+        assert_eq!(Vectorization::Auto.label(4), "Float");
+        assert_eq!(Vectorization::Explicit.label(4), "Vector Float");
+        assert_eq!(Vectorization::Auto.label(8), "Double");
+        assert_eq!(Vectorization::Explicit.label(8), "Vector Double");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_elem_bytes_panics() {
+        let _ = jacobi2d_coeffs(ProcessorId::A64FX, 2, Vectorization::Auto);
+    }
+}

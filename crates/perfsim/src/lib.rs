@@ -1,0 +1,38 @@
+//! # parallex-perfsim
+//!
+//! The performance simulator that stands in for the paper's four physical
+//! platforms (repro band 2/5: the hardware is not available, so we model
+//! it — see DESIGN.md §1 for the substitution argument). The simulator is
+//! split into:
+//!
+//! * [`kernel`] — per-(machine, data type, vectorization) kernel cost
+//!   coefficients: instructions, cache misses and pipeline-stall cycles
+//!   per lattice-site update, **calibrated against Tables III–VI** of the
+//!   paper. Every derived quantity (figures, counter tables, crossovers)
+//!   flows from these coefficients plus the machine models — nothing is
+//!   hard-coded per figure.
+//! * [`exec`] — the 2D-stencil timing model: per-core pipeline time vs.
+//!   NUMA-aware memory time, whichever binds (Figs. 4–8).
+//! * [`counters`] — PAPI-like hardware-counter emulation (Tables III–VI).
+//! * [`stream`] — the STREAM COPY bandwidth curves (Fig. 2).
+//! * [`heat1d`] — the distributed 1D-stencil scaling model (Fig. 3),
+//!   combining node compute with `parallex-netsim`'s exposed-communication
+//!   analysis.
+//! * [`des`] — a small discrete-event simulator of the AMT scheduler
+//!   (per-core queues, pinning, stealing, per-task overhead) used to
+//!   validate the analytic makespans and to study grain-size effects (the
+//!   paper's "HPX is known to have contention overheads when the grain
+//!   size is too small", Section VII-B).
+
+pub mod counters;
+pub mod des;
+pub mod exec;
+pub mod heat1d;
+pub mod kernel;
+pub mod sensitivity;
+pub mod stream;
+
+pub use counters::{measure, HwCounters};
+pub use exec::{glups_at, Stencil2dConfig};
+pub use heat1d::{time_seconds, Heat1dConfig, ScalingMode};
+pub use kernel::{KernelCoeffs, Vectorization};

@@ -1,0 +1,85 @@
+//! The STREAM COPY model (Fig. 2).
+//!
+//! The paper measures memory bandwidth with STREAM COPY over 128 M
+//! elements, best of ten runs, one pinned thread per core. Our model is
+//! the per-NUMA-domain saturation curve of
+//! [`parallex_machine::numa::MemorySystem`]; a *native* STREAM that
+//! actually runs on the host lives in the `parallex-stencil` crate (used
+//! by the examples) — this module produces the modeled curves for the
+//! four paper machines.
+
+use parallex_machine::numa::MemorySystem;
+use parallex_machine::spec::ProcessorId;
+
+/// STREAM COPY array length the paper uses (128 M elements).
+pub const PAPER_STREAM_ELEMS: usize = 128_000_000;
+
+/// Modeled STREAM COPY bandwidth at `cores` pinned cores, GB/s.
+pub fn stream_copy_gbs(proc: ProcessorId, cores: usize) -> f64 {
+    MemorySystem::new(&proc.spec()).stream_at(cores)
+}
+
+/// The full Fig. 2 series for one machine: `(cores, GB/s)` over its core
+/// sweep.
+pub fn stream_series(proc: ProcessorId) -> Vec<(usize, f64)> {
+    let spec = proc.spec();
+    spec.core_sweep()
+        .into_iter()
+        .map(|c| (c, stream_copy_gbs(proc, c)))
+        .collect()
+}
+
+/// Bytes moved by one STREAM COPY pass (read + write of `elems` doubles).
+pub fn copy_bytes(elems: usize) -> usize {
+    elems * 8 * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_is_monotone_nondecreasing() {
+        for id in ProcessorId::ALL {
+            let s = stream_series(id);
+            for w in s.windows(2) {
+                assert!(w[1].1 >= w[0].1 - 1e-12, "{id:?}: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_node_hits_spec_bandwidth() {
+        for id in ProcessorId::ALL {
+            let spec = id.spec();
+            let bw = stream_copy_gbs(id, spec.total_cores());
+            assert!((bw - spec.node_bw_gbs()).abs() < 1e-9, "{id:?}");
+        }
+    }
+
+    #[test]
+    fn a64fx_dwarfs_ddr_machines() {
+        // Fig. 2's headline: HBM2 puts the A64FX in a different class.
+        let a64 = stream_copy_gbs(ProcessorId::A64FX, 48);
+        for id in [ProcessorId::XeonE5_2660v3, ProcessorId::Kunpeng916, ProcessorId::ThunderX2] {
+            let other = stream_copy_gbs(id, id.spec().total_cores());
+            assert!(a64 > 2.5 * other, "{id:?}");
+        }
+    }
+
+    #[test]
+    fn single_domain_saturates_before_the_node() {
+        // Plateau structure: once a domain's cores saturate it, adding
+        // cores within the same domain gains nothing.
+        let p = ProcessorId::Kunpeng916.spec();
+        let saturating = (p.domain_bw_gbs / p.core_bw_gbs).ceil() as usize;
+        let at_sat = stream_copy_gbs(ProcessorId::Kunpeng916, saturating);
+        let later = stream_copy_gbs(ProcessorId::Kunpeng916, 16);
+        assert!((at_sat - later).abs() < 1e-9, "{at_sat} vs {later}");
+    }
+
+    #[test]
+    fn copy_bytes_counts_read_and_write() {
+        assert_eq!(copy_bytes(PAPER_STREAM_ELEMS), 128_000_000 * 16);
+    }
+}

@@ -1,0 +1,208 @@
+//! # parallex-roofline
+//!
+//! The Roofline model (Williams, Waterman, Patterson) exactly as the paper
+//! uses it (Section III-C, Eq. 1):
+//!
+//! ```text
+//! Attainable Performance = min(CP, AI × BW)
+//! ```
+//!
+//! For the 2D Jacobi stencil the paper measures performance in **LUP/s**
+//! (lattice-site updates per second), so the "compute peak" is expressed in
+//! LUP/s as well (4 flops per LUP for the 5-point average — 3 adds and one
+//! multiply, Eq. 4) and the arithmetic intensity in LUP/byte (1/12 for
+//! `f32`, 1/24 for `f64` under the three-transfer assumption of Section
+//! V-B; 1/8 and 1/16 when a large cache line grants the free cache-blocking
+//! behaviour of Section VII-B).
+//!
+//! [`expected_peak_glups`] reproduces the "Expected Peak" lines of
+//! Figs. 4–8; [`roofline_curve`] generates classic roofline plots.
+
+use parallex_machine::numa::{DomainPopulation, MemorySystem};
+use parallex_machine::spec::Processor;
+
+/// Flops per lattice-site update of the 5-point Jacobi stencil (3 adds +
+/// 1 multiply, Eq. 4 of the paper).
+pub const JACOBI_FLOPS_PER_LUP: f64 = 4.0;
+
+/// Flops per lattice-site update of the 3-point heat stencil (Eq. 3:
+/// 3 adds/subs + 2 multiplies).
+pub const HEAT1D_FLOPS_PER_LUP: f64 = 5.0;
+
+/// Eq. 1: attainable performance given compute peak `cp` (op/s) and the
+/// memory-side bound `ai_times_bw` (op/s). Units cancel as long as the
+/// "op" is consistent (flop or LUP).
+pub fn attainable(cp: f64, ai_times_bw: f64) -> f64 {
+    cp.min(ai_times_bw)
+}
+
+/// Arithmetic intensity of the stencil in LUP/byte for an element of
+/// `elem_bytes` moving `transfers` elements to/from memory per update.
+pub fn stencil_ai_lup_per_byte(elem_bytes: usize, transfers: f64) -> f64 {
+    1.0 / (transfers * elem_bytes as f64)
+}
+
+/// Compute-roof in GLUP/s for the Jacobi kernel at `cores` active cores
+/// (vector FMA peak divided by flops/LUP; `elem_bytes` selects SP/DP
+/// lanes).
+pub fn jacobi_compute_roof_glups(proc: &Processor, elem_bytes: usize, cores: usize) -> f64 {
+    let flops_per_cycle = if elem_bytes == 4 {
+        2 * proc.vector.dp_flops_per_cycle()
+    } else {
+        proc.vector.dp_flops_per_cycle()
+    };
+    cores as f64 * proc.clock_ghz * flops_per_cycle as f64 / JACOBI_FLOPS_PER_LUP
+}
+
+/// The paper's "Expected Peak" lines: GLUP/s attainable at `cores` cores
+/// with `transfers` memory transfers per update. Uses the sequential-fill
+/// STREAM bandwidth at that core count (the paper computes expected peak
+/// from its measured STREAM curve, Fig. 2).
+pub fn expected_peak_glups(
+    proc: &Processor,
+    elem_bytes: usize,
+    cores: usize,
+    transfers: f64,
+) -> f64 {
+    let ms = MemorySystem::new(proc);
+    let bw_gbs = ms.stream_aggregate_gbs(&DomainPopulation::fill_sequential(proc, cores));
+    let ai = stencil_ai_lup_per_byte(elem_bytes, transfers);
+    attainable(jacobi_compute_roof_glups(proc, elem_bytes, cores), ai * bw_gbs)
+}
+
+/// One point of a roofline plot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RooflinePoint {
+    /// Arithmetic intensity, op/byte.
+    pub ai: f64,
+    /// Attainable performance, Gop/s.
+    pub gops: f64,
+}
+
+/// Sample the full-node roofline of a processor over a log-spaced AI range
+/// (flop-based: cp = peak DP GFLOP/s, bw = node STREAM GB/s).
+pub fn roofline_curve(
+    proc: &Processor,
+    ai_min: f64,
+    ai_max: f64,
+    points: usize,
+) -> Vec<RooflinePoint> {
+    assert!(points >= 2 && ai_min > 0.0 && ai_max > ai_min);
+    let cp = proc.peak_dp_gflops();
+    let bw = proc.node_bw_gbs();
+    let ratio = (ai_max / ai_min).powf(1.0 / (points - 1) as f64);
+    (0..points)
+        .map(|i| {
+            let ai = ai_min * ratio.powi(i as i32);
+            RooflinePoint { ai, gops: attainable(cp, ai * bw) }
+        })
+        .collect()
+}
+
+/// The AI at which a processor transitions from memory- to compute-bound
+/// (the roofline "ridge point"), flop/byte.
+pub fn ridge_point(proc: &Processor) -> f64 {
+    proc.peak_dp_gflops() / proc.node_bw_gbs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallex_machine::spec::ProcessorId;
+
+    #[test]
+    fn eq1_picks_the_binding_constraint() {
+        assert_eq!(attainable(100.0, 50.0), 50.0, "memory bound");
+        assert_eq!(attainable(100.0, 5000.0), 100.0, "compute bound");
+    }
+
+    #[test]
+    fn paper_ai_values() {
+        // Section V-B: 1/12 LUP/B for floats, 1/24 LUP/B for doubles.
+        assert!((stencil_ai_lup_per_byte(4, 3.0) - 1.0 / 12.0).abs() < 1e-12);
+        assert!((stencil_ai_lup_per_byte(8, 3.0) - 1.0 / 24.0).abs() < 1e-12);
+        // Section VII-B cache-blocked: 1/8 and 1/16.
+        assert!((stencil_ai_lup_per_byte(4, 2.0) - 1.0 / 8.0).abs() < 1e-12);
+        assert!((stencil_ai_lup_per_byte(8, 2.0) - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stencil_is_memory_bound_on_all_four_processors() {
+        // "The low arithmetic intensity makes the application memory bound
+        // for a broad class of processors" (Section V-B).
+        for id in ProcessorId::ALL {
+            let p = id.spec();
+            let cores = p.total_cores();
+            let mem_peak = expected_peak_glups(&p, 8, cores, 3.0);
+            let compute_roof = jacobi_compute_roof_glups(&p, 8, cores);
+            assert!(
+                mem_peak < compute_roof,
+                "{id:?}: {mem_peak} should be < {compute_roof}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_transfer_peak_is_1_5x_three_transfer_peak() {
+        // The paper's "49% performance boost" from free cache blocking.
+        let p = ProcessorId::A64FX.spec();
+        let lo = expected_peak_glups(&p, 8, 48, 3.0);
+        let hi = expected_peak_glups(&p, 8, 48, 2.0);
+        assert!((hi / lo - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_peak_grows_with_cores_until_saturation() {
+        let p = ProcessorId::XeonE5_2660v3.spec();
+        let p4 = expected_peak_glups(&p, 4, 4, 3.0);
+        let p10 = expected_peak_glups(&p, 4, 10, 3.0);
+        let p20 = expected_peak_glups(&p, 4, 20, 3.0);
+        assert!(p10 > p4);
+        assert!(p20 > p10, "second socket adds bandwidth");
+    }
+
+    #[test]
+    fn float_peak_is_double_double_peak_when_memory_bound() {
+        let p = ProcessorId::Kunpeng916.spec();
+        let f32_peak = expected_peak_glups(&p, 4, 64, 3.0);
+        let f64_peak = expected_peak_glups(&p, 8, 64, 3.0);
+        assert!((f32_peak / f64_peak - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roofline_curve_is_monotone_then_flat() {
+        let p = ProcessorId::A64FX.spec();
+        let pts = roofline_curve(&p, 0.01, 100.0, 40);
+        assert_eq!(pts.len(), 40);
+        for w in pts.windows(2) {
+            assert!(w[1].gops >= w[0].gops - 1e-9);
+        }
+        assert!((pts.last().unwrap().gops - p.peak_dp_gflops()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_point_separates_regimes() {
+        let p = ProcessorId::ThunderX2.spec();
+        let r = ridge_point(&p);
+        assert!(attainable(p.peak_dp_gflops(), r * 0.5 * p.node_bw_gbs()) < p.peak_dp_gflops());
+        assert!(
+            (attainable(p.peak_dp_gflops(), r * 2.0 * p.node_bw_gbs()) - p.peak_dp_gflops()).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn a64fx_has_by_far_the_highest_memory_roof() {
+        let peaks: Vec<f64> = ProcessorId::ALL
+            .iter()
+            .map(|id| {
+                let p = id.spec();
+                expected_peak_glups(&p, 4, p.total_cores(), 3.0)
+            })
+            .collect();
+        let a64fx = peaks[3];
+        for (i, other) in peaks.iter().enumerate().take(3) {
+            assert!(a64fx > 2.5 * other, "A64FX vs {i}: {a64fx} vs {other}");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! SIMD instruction sets of the paper's processors (Table I,
+//! "Vectorization" row).
+
+/// A SIMD ISA with a fixed (compile-time, per the paper's GCC
+/// `-msve-vector-bits` approach) vector width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Isa {
+    /// Intel AVX2, 256-bit (Xeon E5-2660 v3).
+    Avx2,
+    /// Armv8 NEON, 128-bit (Kunpeng 916, ThunderX2).
+    Neon,
+    /// Arm SVE fixed at 512-bit (A64FX; the paper benchmarks with
+    /// `-msve-vector-bits=512`).
+    Sve512,
+}
+
+impl Isa {
+    /// Vector register width in bits.
+    pub const fn bits(self) -> usize {
+        match self {
+            Isa::Avx2 => 256,
+            Isa::Neon => 128,
+            Isa::Sve512 => 512,
+        }
+    }
+
+    /// `f32` lanes per vector register.
+    pub const fn lanes_f32(self) -> usize {
+        self.bits() / 32
+    }
+
+    /// `f64` lanes per vector register.
+    pub const fn lanes_f64(self) -> usize {
+        self.bits() / 64
+    }
+
+    /// Lanes for an element size in bytes (4 or 8).
+    pub const fn lanes_for(self, elem_bytes: usize) -> usize {
+        self.bits() / (8 * elem_bytes)
+    }
+
+    /// Display name as used in the paper.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Isa::Avx2 => "AVX2",
+            Isa::Neon => "NEON",
+            Isa::Sve512 => "SVE 512-bit",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_match_table_i() {
+        assert_eq!(Isa::Avx2.bits(), 256);
+        assert_eq!(Isa::Neon.bits(), 128);
+        assert_eq!(Isa::Sve512.bits(), 512);
+    }
+
+    #[test]
+    fn lane_counts() {
+        assert_eq!(Isa::Avx2.lanes_f32(), 8);
+        assert_eq!(Isa::Avx2.lanes_f64(), 4);
+        assert_eq!(Isa::Neon.lanes_f32(), 4);
+        assert_eq!(Isa::Neon.lanes_f64(), 2);
+        assert_eq!(Isa::Sve512.lanes_f32(), 16);
+        assert_eq!(Isa::Sve512.lanes_f64(), 8);
+    }
+
+    #[test]
+    fn lanes_for_matches_typed_helpers() {
+        for isa in [Isa::Avx2, Isa::Neon, Isa::Sve512] {
+            assert_eq!(isa.lanes_for(4), isa.lanes_f32());
+            assert_eq!(isa.lanes_for(8), isa.lanes_f64());
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # parallex-simd
+//!
+//! A portable explicit-vectorization layer modeled on [NSIMD] /
+//! [Inastemp], the libraries the paper uses to vectorize its 2D stencil
+//! (Listing 2). The paper's key constraint — SVE's runtime-sized
+//! `__sizeless_struct` cannot live inside an STL container, so the vector
+//! length must be fixed at compile time (GCC's `-msve-vector-bits`) — maps
+//! naturally onto Rust const generics: [`Pack<T, W>`] is an `[T; W]`
+//! wrapper whose width is a compile-time constant, exactly like an NSIMD
+//! `pack<T>` compiled for a fixed SVE width.
+//!
+//! The crate provides:
+//!
+//! * [`pack::Pack`] — fixed-width SIMD value with element-wise arithmetic,
+//!   FMA, min/max, lane shifts and reductions. Rust/LLVM auto-vectorizes
+//!   the fixed-size array loops into the target's SIMD instructions, which
+//!   is the same mechanism NSIMD's inline intrinsic wrappers rely on.
+//! * [`traits::Vectorizable`] — the unifying trait that lets one generic
+//!   kernel run over scalars *or* packs (the paper's
+//!   `Container::value_type` trick with `get_type`, Listing 2 line 17).
+//! * [`vns`] — the Virtual Node Scheme data layout (Boyle et al., Grid)
+//!   used by the paper to lay out the stencil for SIMD, including the
+//!   halo-shuffle fix-up of Listing 2 line 18.
+//! * [`isa`] — the SIMD ISAs of the paper's four processors (AVX2, NEON,
+//!   SVE-512) with their widths, Table I's "Vectorization" column.
+//!
+//! [NSIMD]: https://github.com/agenium-scale/nsimd
+//! [Inastemp]: https://gitlab.inria.fr/bramas/inastemp
+
+pub mod isa;
+pub mod pack;
+pub mod traits;
+pub mod vns;
+
+pub use isa::Isa;
+pub use pack::Pack;
+pub use traits::{Element, Vectorizable};
+
+/// Widest pack used anywhere in the suite: 512-bit SVE single precision.
+pub const MAX_LANES: usize = 16;
+
+/// `f32` pack for a 128-bit NEON pipeline.
+pub type F32x4 = Pack<f32, 4>;
+/// `f64` pack for a 128-bit NEON pipeline.
+pub type F64x2 = Pack<f64, 2>;
+/// `f32` pack for a 256-bit AVX2 pipeline.
+pub type F32x8 = Pack<f32, 8>;
+/// `f64` pack for a 256-bit AVX2 pipeline.
+pub type F64x4 = Pack<f64, 4>;
+/// `f32` pack for 512-bit SVE (the paper benchmarks A64FX at 512 bit).
+pub type F32x16 = Pack<f32, 16>;
+/// `f64` pack for 512-bit SVE.
+pub type F64x8 = Pack<f64, 8>;

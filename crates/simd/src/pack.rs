@@ -1,0 +1,351 @@
+//! Fixed-width SIMD packs.
+//!
+//! [`Pack<T, W>`] is the Rust analogue of `nsimd::pack<T>` compiled for a
+//! fixed vector width: a `#[repr(transparent)]` wrapper over `[T; W]`
+//! whose element-wise operations LLVM lowers to the target's SIMD
+//! instructions. All operations are plain loops over `W`, which is a
+//! compile-time constant, so the codegen is branch-free straight-line
+//! vector code.
+
+use crate::traits::Element;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A SIMD value holding `W` lanes of element type `T`.
+///
+/// ```
+/// use parallex_simd::Pack;
+/// let a = Pack::<f32, 8>::splat(1.0);
+/// let b = Pack::<f32, 8>::from_fn(|i| i as f32);
+/// let c = (a + b) * Pack::splat(0.5);
+/// assert_eq!(c.lane(3), 2.0);
+/// ```
+#[derive(Clone, Copy, PartialEq)]
+#[repr(transparent)]
+pub struct Pack<T, const W: usize>(pub(crate) [T; W]);
+
+impl<T: Element, const W: usize> Default for Pack<T, W> {
+    fn default() -> Self {
+        Self::splat(T::ZERO)
+    }
+}
+
+impl<T: Element, const W: usize> fmt::Debug for Pack<T, W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Pack").field(&self.0).finish()
+    }
+}
+
+impl<T: Element, const W: usize> Pack<T, W> {
+    /// Number of lanes.
+    pub const LANES: usize = W;
+
+    /// Broadcast one value into every lane.
+    #[inline(always)]
+    pub fn splat(v: T) -> Self {
+        Pack([v; W])
+    }
+
+    /// Build a pack from a per-lane function.
+    #[inline(always)]
+    pub fn from_fn(mut f: impl FnMut(usize) -> T) -> Self {
+        let mut out = [T::ZERO; W];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = f(i);
+        }
+        Pack(out)
+    }
+
+    /// Construct from an array.
+    #[inline(always)]
+    pub const fn from_array(a: [T; W]) -> Self {
+        Pack(a)
+    }
+
+    /// The underlying lane array.
+    #[inline(always)]
+    pub fn to_array(self) -> [T; W] {
+        self.0
+    }
+
+    /// Load `W` contiguous elements starting at `slice[0]`.
+    ///
+    /// # Panics
+    /// Panics if `slice.len() < W`.
+    #[inline(always)]
+    pub fn load(slice: &[T]) -> Self {
+        let mut out = [T::ZERO; W];
+        out.copy_from_slice(&slice[..W]);
+        Pack(out)
+    }
+
+    /// Store all lanes into the first `W` elements of `slice`.
+    ///
+    /// # Panics
+    /// Panics if `slice.len() < W`.
+    #[inline(always)]
+    pub fn store(self, slice: &mut [T]) {
+        slice[..W].copy_from_slice(&self.0);
+    }
+
+    /// Read one lane.
+    #[inline(always)]
+    pub fn lane(self, i: usize) -> T {
+        self.0[i]
+    }
+
+    /// Write one lane, returning the modified pack.
+    #[inline(always)]
+    pub fn with_lane(mut self, i: usize, v: T) -> Self {
+        self.0[i] = v;
+        self
+    }
+
+    /// Fused multiply-add: `self * m + a`, lane-wise.
+    #[inline(always)]
+    pub fn mul_add(self, m: Self, a: Self) -> Self {
+        Self::from_fn(|i| self.0[i].mul_add(m.0[i], a.0[i]))
+    }
+
+    /// Lane-wise minimum.
+    #[inline(always)]
+    pub fn min(self, o: Self) -> Self {
+        Self::from_fn(|i| self.0[i].min_elem(o.0[i]))
+    }
+
+    /// Lane-wise maximum.
+    #[inline(always)]
+    pub fn max(self, o: Self) -> Self {
+        Self::from_fn(|i| self.0[i].max_elem(o.0[i]))
+    }
+
+    /// Lane-wise absolute value.
+    #[inline(always)]
+    pub fn abs(self) -> Self {
+        Self::from_fn(|i| self.0[i].abs_elem())
+    }
+
+    /// Horizontal sum of all lanes.
+    #[inline(always)]
+    pub fn reduce_sum(self) -> T {
+        let mut acc = T::ZERO;
+        for i in 0..W {
+            acc = acc + self.0[i];
+        }
+        acc
+    }
+
+    /// Horizontal maximum of all lanes.
+    #[inline(always)]
+    pub fn reduce_max(self) -> T {
+        let mut acc = self.0[0];
+        for i in 1..W {
+            acc = acc.max_elem(self.0[i]);
+        }
+        acc
+    }
+
+    /// Shift lanes one position towards lane 0, pulling `carry_in` into the
+    /// top lane: `out[i] = self[i + 1]`, `out[W-1] = carry_in`.
+    ///
+    /// This is the primitive the Virtual Node Scheme halo shuffle is built
+    /// from (NSIMD's `shuffle` at Listing 2 line 18 of the paper).
+    #[inline(always)]
+    pub fn shift_lanes_down(self, carry_in: T) -> Self {
+        Self::from_fn(|i| if i + 1 < W { self.0[i + 1] } else { carry_in })
+    }
+
+    /// Shift lanes one position away from lane 0, pulling `carry_in` into
+    /// lane 0: `out[i] = self[i - 1]`, `out[0] = carry_in`.
+    #[inline(always)]
+    pub fn shift_lanes_up(self, carry_in: T) -> Self {
+        Self::from_fn(|i| if i == 0 { carry_in } else { self.0[i - 1] })
+    }
+
+    /// Rotate lanes towards lane 0 by one (lane 0 wraps to the top).
+    #[inline(always)]
+    pub fn rotate_lanes_down(self) -> Self {
+        self.shift_lanes_down(self.0[0])
+    }
+
+    /// Rotate lanes away from lane 0 by one (top lane wraps to lane 0).
+    #[inline(always)]
+    pub fn rotate_lanes_up(self) -> Self {
+        self.shift_lanes_up(self.0[W - 1])
+    }
+
+    /// Lane-wise select: where `mask[i]` is true take `self[i]`, else
+    /// `other[i]`.
+    #[inline(always)]
+    pub fn select(self, other: Self, mask: [bool; W]) -> Self {
+        Self::from_fn(|i| if mask[i] { self.0[i] } else { other.0[i] })
+    }
+}
+
+impl<T: Element, const W: usize> Index<usize> for Pack<T, W> {
+    type Output = T;
+    #[inline(always)]
+    fn index(&self, i: usize) -> &T {
+        &self.0[i]
+    }
+}
+
+impl<T: Element, const W: usize> IndexMut<usize> for Pack<T, W> {
+    #[inline(always)]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.0[i]
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $fn:ident, $assign_trait:ident, $assign_fn:ident, $op:tt) => {
+        impl<T: Element, const W: usize> $trait for Pack<T, W> {
+            type Output = Self;
+            #[inline(always)]
+            fn $fn(self, rhs: Self) -> Self {
+                Self::from_fn(|i| self.0[i] $op rhs.0[i])
+            }
+        }
+
+        impl<T: Element, const W: usize> $trait<T> for Pack<T, W> {
+            type Output = Self;
+            #[inline(always)]
+            fn $fn(self, rhs: T) -> Self {
+                Self::from_fn(|i| self.0[i] $op rhs)
+            }
+        }
+
+        impl<T: Element, const W: usize> $assign_trait for Pack<T, W> {
+            #[inline(always)]
+            fn $assign_fn(&mut self, rhs: Self) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, AddAssign, add_assign, +);
+impl_binop!(Sub, sub, SubAssign, sub_assign, -);
+impl_binop!(Mul, mul, MulAssign, mul_assign, *);
+impl_binop!(Div, div, DivAssign, div_assign, /);
+
+impl<T: Element, const W: usize> Neg for Pack<T, W> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self::from_fn(|i| T::ZERO - self.0[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_fills_all_lanes() {
+        let p = Pack::<f64, 4>::splat(2.5);
+        for i in 0..4 {
+            assert_eq!(p.lane(i), 2.5);
+        }
+    }
+
+    #[test]
+    fn from_fn_and_index() {
+        let p = Pack::<f32, 8>::from_fn(|i| i as f32);
+        assert_eq!(p[0], 0.0);
+        assert_eq!(p[7], 7.0);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let data: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let p = Pack::<f64, 8>::load(&data);
+        let mut out = vec![0.0; 8];
+        p.store(&mut out);
+        assert_eq!(data, out);
+    }
+
+    #[test]
+    #[should_panic]
+    fn load_short_slice_panics() {
+        let data = [1.0f32; 3];
+        let _ = Pack::<f32, 4>::load(&data);
+    }
+
+    #[test]
+    fn arithmetic_is_lanewise() {
+        let a = Pack::<f32, 4>::from_array([1.0, 2.0, 3.0, 4.0]);
+        let b = Pack::<f32, 4>::splat(2.0);
+        assert_eq!((a + b).to_array(), [3.0, 4.0, 5.0, 6.0]);
+        assert_eq!((a - b).to_array(), [-1.0, 0.0, 1.0, 2.0]);
+        assert_eq!((a * b).to_array(), [2.0, 4.0, 6.0, 8.0]);
+        assert_eq!((a / b).to_array(), [0.5, 1.0, 1.5, 2.0]);
+        assert_eq!((-a).to_array(), [-1.0, -2.0, -3.0, -4.0]);
+    }
+
+    #[test]
+    fn scalar_broadcast_ops() {
+        let a = Pack::<f64, 2>::from_array([2.0, 4.0]);
+        assert_eq!((a * 0.25).to_array(), [0.5, 1.0]);
+        assert_eq!((a + 1.0).to_array(), [3.0, 5.0]);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = Pack::<f32, 4>::splat(1.0);
+        a += Pack::splat(2.0);
+        a *= Pack::splat(3.0);
+        a -= Pack::splat(1.0);
+        a /= Pack::splat(2.0);
+        assert_eq!(a.to_array(), [4.0; 4]);
+    }
+
+    #[test]
+    fn mul_add_matches_manual() {
+        let a = Pack::<f64, 4>::from_array([1.0, 2.0, 3.0, 4.0]);
+        let m = Pack::<f64, 4>::splat(10.0);
+        let c = Pack::<f64, 4>::splat(0.5);
+        let r = a.mul_add(m, c);
+        assert_eq!(r.to_array(), [10.5, 20.5, 30.5, 40.5]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Pack::<f64, 4>::from_array([1.0, -2.0, 3.0, -4.0]);
+        assert_eq!(a.reduce_sum(), -2.0);
+        assert_eq!(a.reduce_max(), 3.0);
+        assert_eq!(a.abs().reduce_max(), 4.0);
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Pack::<f32, 4>::from_array([1.0, -2.0, 3.0, -4.0]);
+        let b = Pack::<f32, 4>::splat(0.0);
+        assert_eq!(a.min(b).to_array(), [0.0, -2.0, 0.0, -4.0]);
+        assert_eq!(a.max(b).to_array(), [1.0, 0.0, 3.0, 0.0]);
+        assert_eq!(a.abs().to_array(), [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn lane_shifts() {
+        let a = Pack::<f32, 4>::from_array([0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(a.shift_lanes_down(9.0).to_array(), [1.0, 2.0, 3.0, 9.0]);
+        assert_eq!(a.shift_lanes_up(9.0).to_array(), [9.0, 0.0, 1.0, 2.0]);
+        assert_eq!(a.rotate_lanes_down().to_array(), [1.0, 2.0, 3.0, 0.0]);
+        assert_eq!(a.rotate_lanes_up().to_array(), [3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn select_by_mask() {
+        let a = Pack::<f32, 4>::splat(1.0);
+        let b = Pack::<f32, 4>::splat(2.0);
+        let r = a.select(b, [true, false, true, false]);
+        assert_eq!(r.to_array(), [1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn with_lane_replaces_single_lane() {
+        let a = Pack::<f64, 2>::splat(0.0).with_lane(1, 5.0);
+        assert_eq!(a.to_array(), [0.0, 5.0]);
+    }
+}

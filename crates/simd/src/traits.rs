@@ -1,0 +1,247 @@
+//! Traits unifying scalar and packed arithmetic.
+//!
+//! The paper's 2D stencil (Listing 2) is written once, generic over the
+//! container's `value_type`, which may be `float`, `double`,
+//! `nsimd::pack<float>` or `nsimd::pack<double>`; a `get_type` meta-class
+//! plus `std::is_same` distinguishes the two at compile time. Here the
+//! same role is played by the [`Vectorizable`] trait: a stencil kernel
+//! written against `V: Vectorizable` monomorphizes to a scalar loop or a
+//! SIMD loop depending on the chosen `V`.
+
+use crate::pack::Pack;
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Sub, SubAssign};
+
+/// A scalar floating-point element (`f32` or `f64`).
+pub trait Element:
+    Copy
+    + Debug
+    + PartialOrd
+    + Default
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Size of one element in bytes (4 for `f32`, 8 for `f64`); drives the
+    /// arithmetic-intensity computation in the roofline model.
+    const BYTES: usize;
+    /// Human-readable name matching the paper's tables ("Float"/"Double").
+    const NAME: &'static str;
+
+    /// Convert from `f64` (used to inject boundary conditions and
+    /// constants into generic kernels).
+    fn from_f64(v: f64) -> Self;
+    /// Convert to `f64` (used by verification code).
+    fn to_f64(self) -> f64;
+    /// `self * m + a`.
+    fn mul_add(self, m: Self, a: Self) -> Self;
+    /// Minimum of two elements.
+    fn min_elem(self, o: Self) -> Self;
+    /// Maximum of two elements.
+    fn max_elem(self, o: Self) -> Self;
+    /// Absolute value.
+    fn abs_elem(self) -> Self;
+}
+
+macro_rules! impl_element {
+    ($t:ty, $name:literal) => {
+        impl Element for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const BYTES: usize = std::mem::size_of::<$t>();
+            const NAME: &'static str = $name;
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn mul_add(self, m: Self, a: Self) -> Self {
+                <$t>::mul_add(self, m, a)
+            }
+            #[inline(always)]
+            fn min_elem(self, o: Self) -> Self {
+                if self < o {
+                    self
+                } else {
+                    o
+                }
+            }
+            #[inline(always)]
+            fn max_elem(self, o: Self) -> Self {
+                if self > o {
+                    self
+                } else {
+                    o
+                }
+            }
+            #[inline(always)]
+            fn abs_elem(self) -> Self {
+                self.abs()
+            }
+        }
+    };
+}
+
+impl_element!(f32, "Float");
+impl_element!(f64, "Double");
+
+/// A value a stencil kernel can operate on: either a scalar element
+/// (auto-vectorized path) or a [`Pack`] (explicitly vectorized path).
+pub trait Vectorizable:
+    Copy
+    + Debug
+    + Default
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + 'static
+{
+    /// The underlying scalar element type.
+    type Scalar: Element;
+    /// Number of scalar lanes (1 for scalars).
+    const LANES: usize;
+    /// `true` for [`Pack`] types — the compile-time equivalent of the
+    /// paper's `std::is_same<value_type, nsimd::pack<…>>` test.
+    const IS_PACK: bool;
+
+    /// Broadcast one scalar into all lanes.
+    fn splat(v: Self::Scalar) -> Self;
+    /// Read lane `i` (must be `< LANES`).
+    fn extract(self, i: usize) -> Self::Scalar;
+    /// Write lane `i`, returning the new value.
+    fn insert(self, i: usize, v: Self::Scalar) -> Self;
+    /// Sum over lanes.
+    fn reduce_sum(self) -> Self::Scalar;
+    /// Max of |lane| over lanes — used for residual norms.
+    fn reduce_abs_max(self) -> Self::Scalar;
+}
+
+impl<T: Element> Vectorizable for T
+where
+    T: AddAssign + SubAssign + MulAssign + DivAssign,
+{
+    type Scalar = T;
+    const LANES: usize = 1;
+    const IS_PACK: bool = false;
+
+    #[inline(always)]
+    fn splat(v: T) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn extract(self, _i: usize) -> T {
+        self
+    }
+    #[inline(always)]
+    fn insert(self, _i: usize, v: T) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn reduce_sum(self) -> T {
+        self
+    }
+    #[inline(always)]
+    fn reduce_abs_max(self) -> T {
+        self.abs_elem()
+    }
+}
+
+impl<T: Element, const W: usize> Vectorizable for Pack<T, W> {
+    type Scalar = T;
+    const LANES: usize = W;
+    const IS_PACK: bool = true;
+
+    #[inline(always)]
+    fn splat(v: T) -> Self {
+        Pack::splat(v)
+    }
+    #[inline(always)]
+    fn extract(self, i: usize) -> T {
+        self.lane(i)
+    }
+    #[inline(always)]
+    fn insert(self, i: usize, v: T) -> Self {
+        self.with_lane(i, v)
+    }
+    #[inline(always)]
+    fn reduce_sum(self) -> T {
+        Pack::reduce_sum(self)
+    }
+    #[inline(always)]
+    fn reduce_abs_max(self) -> T {
+        self.abs().reduce_max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_axpy<V: Vectorizable>(a: V::Scalar, x: V, y: V) -> V {
+        V::splat(a) * x + y
+    }
+
+    #[test]
+    fn scalar_is_one_lane() {
+        assert_eq!(<f32 as Vectorizable>::LANES, 1);
+        assert!(!<f64 as Vectorizable>::IS_PACK);
+        assert_eq!(<f64 as Vectorizable>::splat(3.0), 3.0);
+    }
+
+    #[test]
+    fn pack_reports_lanes() {
+        assert_eq!(<Pack<f32, 8> as Vectorizable>::LANES, 8);
+        assert!(<Pack<f32, 8> as Vectorizable>::IS_PACK);
+    }
+
+    #[test]
+    fn generic_kernel_works_for_both() {
+        let s = generic_axpy::<f64>(2.0, 3.0, 1.0);
+        assert_eq!(s, 7.0);
+        let p = generic_axpy::<Pack<f64, 4>>(2.0, Pack::splat(3.0), Pack::splat(1.0));
+        assert_eq!(p.to_array(), [7.0; 4]);
+    }
+
+    #[test]
+    fn element_constants() {
+        assert_eq!(<f32 as Element>::BYTES, 4);
+        assert_eq!(<f64 as Element>::BYTES, 8);
+        assert_eq!(f32::NAME, "Float");
+        assert_eq!(f64::NAME, "Double");
+    }
+
+    #[test]
+    fn extract_insert_roundtrip() {
+        let p = Pack::<f32, 4>::splat(0.0);
+        let p = Vectorizable::insert(p, 2, 9.0);
+        assert_eq!(Vectorizable::extract(p, 2), 9.0);
+        assert_eq!(Vectorizable::extract(p, 0), 0.0);
+    }
+
+    #[test]
+    fn reduce_abs_max_scalar_and_pack() {
+        assert_eq!(Vectorizable::reduce_abs_max(-3.0f64), 3.0);
+        let p = Pack::<f64, 4>::from_array([1.0, -5.0, 2.0, -0.5]);
+        assert_eq!(Vectorizable::reduce_abs_max(p), 5.0);
+    }
+}

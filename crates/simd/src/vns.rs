@@ -1,0 +1,238 @@
+//! The Virtual Node Scheme (VNS) SIMD data layout.
+//!
+//! The paper lays out its 2D stencil rows with the Virtual Node Scheme of
+//! Boyle et al. ("Grid: a next generation data parallel C++ QCD library"),
+//! which the NSIMD kernel of Listing 2 relies on: a row of `n = W * m`
+//! scalars is split into `W` *virtual nodes* of `m` contiguous scalars
+//! each, and pack `i` holds lane `v = `scalar `v*m + i`. With this layout
+//! the stencil's `x±1` neighbours of pack `i` are simply packs `i∓1` —
+//! identical, uniform SIMD code for every lane — except at the virtual-node
+//! boundaries, where the neighbour lives in a *different lane*. Those
+//! boundary packs (the left/right *halo* of the packed row) are produced by
+//! a lane shuffle, which is the `helper<Container>::shuffle(next, ny)` call
+//! at Listing 2 line 18.
+//!
+//! This module provides the pack/unpack transforms, the index arithmetic,
+//! and [`refresh_halo`], the shuffle that keeps the halo consistent after
+//! each time step.
+
+use crate::pack::Pack;
+use crate::traits::Element;
+
+/// Map a (pack index, lane) pair to the scalar index it holds, for a row of
+/// `m` packs (`n = W * m` scalars).
+#[inline(always)]
+pub fn scalar_index<const W: usize>(m: usize, pack: usize, lane: usize) -> usize {
+    lane * m + pack
+}
+
+/// Inverse of [`scalar_index`]: which (pack, lane) holds scalar `s`.
+#[inline(always)]
+pub fn pack_lane<const W: usize>(m: usize, s: usize) -> (usize, usize) {
+    (s % m, s / m)
+}
+
+/// Pack a scalar row into VNS layout. `scalars.len()` must be a non-zero
+/// multiple of `W`. Returns `m = n / W` interior packs (no halo).
+///
+/// # Panics
+/// Panics if `scalars.len()` is zero or not a multiple of `W`.
+pub fn vns_pack<T: Element, const W: usize>(scalars: &[T]) -> Vec<Pack<T, W>> {
+    let n = scalars.len();
+    assert!(n > 0 && n % W == 0, "row length {n} must be a positive multiple of {W}");
+    let m = n / W;
+    (0..m)
+        .map(|i| Pack::from_fn(|v| scalars[scalar_index::<W>(m, i, v)]))
+        .collect()
+}
+
+/// Unpack a VNS row back to scalar order.
+pub fn vns_unpack<T: Element, const W: usize>(packs: &[Pack<T, W>]) -> Vec<T> {
+    let m = packs.len();
+    let mut out = vec![T::ZERO; m * W];
+    for (i, p) in packs.iter().enumerate() {
+        for v in 0..W {
+            out[scalar_index::<W>(m, i, v)] = p.lane(v);
+        }
+    }
+    out
+}
+
+/// A packed row with one halo pack on each side, as the stencil kernels
+/// consume it: `packs[0]` is the left halo, `packs[1..=m]` the interior,
+/// `packs[m + 1]` the right halo.
+#[derive(Clone, Debug)]
+pub struct VnsRow<T: Element, const W: usize> {
+    packs: Vec<Pack<T, W>>,
+}
+
+impl<T: Element, const W: usize> VnsRow<T, W> {
+    /// Build from a scalar row plus the Dirichlet boundary values that sit
+    /// just outside it.
+    pub fn from_scalars(scalars: &[T], left_boundary: T, right_boundary: T) -> Self {
+        let interior = vns_pack::<T, W>(scalars);
+        let m = interior.len();
+        let mut packs = Vec::with_capacity(m + 2);
+        packs.push(Pack::splat(T::ZERO));
+        packs.extend(interior);
+        packs.push(Pack::splat(T::ZERO));
+        let mut row = VnsRow { packs };
+        row.refresh_halo(left_boundary, right_boundary);
+        row
+    }
+
+    /// Number of interior packs (`m`).
+    #[inline(always)]
+    pub fn m(&self) -> usize {
+        self.packs.len() - 2
+    }
+
+    /// Total scalars represented (`W * m`).
+    #[inline(always)]
+    pub fn len_scalars(&self) -> usize {
+        self.m() * W
+    }
+
+    /// All packs including halos; interior is `[1..=m]`.
+    #[inline(always)]
+    pub fn packs(&self) -> &[Pack<T, W>] {
+        &self.packs
+    }
+
+    /// Mutable access to all packs including halos.
+    #[inline(always)]
+    pub fn packs_mut(&mut self) -> &mut [Pack<T, W>] {
+        &mut self.packs
+    }
+
+    /// Recompute the halo packs from the interior (the Listing 2 line 18
+    /// shuffle). `left`/`right` are the scalar boundary values just outside
+    /// the row.
+    pub fn refresh_halo(&mut self, left: T, right: T) {
+        let m = self.m();
+        refresh_halo(&mut self.packs[..m + 2], left, right);
+    }
+
+    /// Unpack to scalar order (interior only).
+    pub fn to_scalars(&self) -> Vec<T> {
+        let m = self.m();
+        vns_unpack(&self.packs[1..=m])
+    }
+
+    /// Read the scalar at logical position `s` (0-based within the row).
+    pub fn scalar(&self, s: usize) -> T {
+        let (i, v) = pack_lane::<W>(self.m(), s);
+        self.packs[i + 1].lane(v)
+    }
+}
+
+/// Recompute the two halo packs of a packed row slice laid out as
+/// `[left_halo, interior..., right_halo]`.
+///
+/// In VNS, the left neighbour of interior pack 0 holds, in lane `v`, scalar
+/// `v*m - 1` — i.e. lane `v-1` of the *last* interior pack, with the global
+/// left boundary entering lane 0. Symmetrically for the right halo. Both
+/// are single lane-shift operations on existing packs, which is why the
+/// paper's shuffle is cheap.
+///
+/// # Panics
+/// Panics if `row.len() < 3` (need at least one interior pack).
+pub fn refresh_halo<T: Element, const W: usize>(row: &mut [Pack<T, W>], left: T, right: T) {
+    let len = row.len();
+    assert!(len >= 3, "row must have at least one interior pack plus halos");
+    let last_interior = row[len - 2];
+    let first_interior = row[1];
+    row[0] = last_interior.shift_lanes_up(left);
+    row[len - 1] = first_interior.shift_lanes_down(right);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let scalars: Vec<f64> = (0..24).map(|i| i as f64).collect();
+        let packs = vns_pack::<f64, 4>(&scalars);
+        assert_eq!(packs.len(), 6);
+        assert_eq!(vns_unpack(&packs), scalars);
+    }
+
+    #[test]
+    fn layout_matches_definition() {
+        // n = 8, W = 4 => m = 2; virtual node v owns scalars [2v, 2v+2).
+        let scalars: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let packs = vns_pack::<f32, 4>(&scalars);
+        // pack 0 holds scalars {0, 2, 4, 6}, pack 1 holds {1, 3, 5, 7}.
+        assert_eq!(packs[0].to_array(), [0.0, 2.0, 4.0, 6.0]);
+        assert_eq!(packs[1].to_array(), [1.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pack_rejects_non_multiple() {
+        let scalars = vec![0.0f32; 6];
+        let _ = vns_pack::<f32, 4>(&scalars);
+    }
+
+    #[test]
+    fn index_maps_are_inverse() {
+        let m = 7;
+        for s in 0..m * 4 {
+            let (p, l) = pack_lane::<4>(m, s);
+            assert_eq!(scalar_index::<4>(m, p, l), s);
+        }
+    }
+
+    #[test]
+    fn halo_reproduces_scalar_neighbours() {
+        // For every interior pack i and lane v, pack[i-1] (with halo at
+        // index 0) must hold the scalar left-neighbour, pack[i+1] the right.
+        let scalars: Vec<f64> = (0..16).map(|i| (i * i) as f64).collect();
+        let left = -1.0;
+        let right = -2.0;
+        let row = VnsRow::<f64, 4>::from_scalars(&scalars, left, right);
+        let m = row.m();
+        let packs = row.packs();
+        for i in 0..m {
+            for v in 0..4 {
+                let s = scalar_index::<4>(m, i, v);
+                let want_left = if s == 0 { left } else { scalars[s - 1] };
+                let want_right = if s + 1 == scalars.len() { right } else { scalars[s + 1] };
+                assert_eq!(packs[i].lane(v), want_left, "left of scalar {s}");
+                assert_eq!(packs[i + 2].lane(v), want_right, "right of scalar {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn vns_row_scalar_accessor() {
+        let scalars: Vec<f32> = (0..12).map(|i| i as f32 * 0.5).collect();
+        let row = VnsRow::<f32, 4>::from_scalars(&scalars, 0.0, 0.0);
+        for (s, &v) in scalars.iter().enumerate() {
+            assert_eq!(row.scalar(s), v);
+        }
+        assert_eq!(row.to_scalars(), scalars);
+    }
+
+    #[test]
+    fn refresh_halo_after_update_keeps_consistency() {
+        let scalars: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let mut row = VnsRow::<f64, 2>::from_scalars(&scalars, 100.0, 200.0);
+        // Simulate a time step: double every interior value, then shuffle.
+        let m = row.m();
+        for p in &mut row.packs_mut()[1..=m] {
+            *p = *p * 2.0;
+        }
+        row.refresh_halo(100.0, 200.0);
+        let updated = row.to_scalars();
+        let packs = row.packs();
+        // Left halo lane 0 must be the boundary; other lanes must mirror
+        // the doubled interior.
+        assert_eq!(packs[0].lane(0), 100.0);
+        for v in 1..2 {
+            assert_eq!(packs[0].lane(v), updated[v * m - 1]);
+        }
+        assert_eq!(packs[m + 1].lane(1), 200.0);
+    }
+}

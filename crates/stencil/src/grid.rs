@@ -1,0 +1,381 @@
+//! The `Grid` container of Listing 2, in both data layouts.
+//!
+//! [`ScalarGrid`] is a plain row-major grid with a one-cell halo ring —
+//! what the auto-vectorized kernel iterates. [`VnsGrid`] stores each row
+//! in the Virtual Node Scheme packed layout ([`parallex_simd::vns`]) with
+//! per-row pack halos — what the explicitly vectorized kernel iterates,
+//! maintaining the halos with the lane shuffle of Listing 2 line 18.
+
+use parallex_simd::traits::Element;
+use parallex_simd::vns::VnsRow;
+use parallex_simd::Pack;
+
+/// Row-major grid with a one-cell halo ring. Interior cells are addressed
+/// `0..nx` × `0..ny`; the halo holds Dirichlet boundary values.
+#[derive(Clone, Debug)]
+pub struct ScalarGrid<T: Element> {
+    nx: usize,
+    ny: usize,
+    /// `(ny + 2) * (nx + 2)` cells, row-major, halo included.
+    data: Vec<T>,
+}
+
+impl<T: Element> ScalarGrid<T> {
+    /// Grid of zeros (boundary included).
+    pub fn zeros(nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0);
+        ScalarGrid { nx, ny, data: vec![T::ZERO; (nx + 2) * (ny + 2)] }
+    }
+
+    /// Build with an initializer over *interior* coordinates.
+    pub fn from_fn(nx: usize, ny: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut g = ScalarGrid::zeros(nx, ny);
+        for y in 0..ny {
+            for x in 0..nx {
+                g.set(x, y, f(x, y));
+            }
+        }
+        g
+    }
+
+    /// Interior width.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Interior height.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    #[inline(always)]
+    fn idx(&self, x: usize, y: usize) -> usize {
+        // x, y are interior coordinates; +1 skips the halo.
+        (y + 1) * (self.nx + 2) + (x + 1)
+    }
+
+    /// Read an interior cell.
+    #[inline(always)]
+    pub fn get(&self, x: usize, y: usize) -> T {
+        self.data[self.idx(x, y)]
+    }
+
+    /// Write an interior cell.
+    #[inline(always)]
+    pub fn set(&mut self, x: usize, y: usize, v: T) {
+        let i = self.idx(x, y);
+        self.data[i] = v;
+    }
+
+    /// Read including the halo ring: coordinates shifted by one, so
+    /// `(0, 0)` is the top-left halo corner.
+    #[inline(always)]
+    pub fn get_halo(&self, hx: usize, hy: usize) -> T {
+        self.data[hy * (self.nx + 2) + hx]
+    }
+
+    /// Set every halo cell to `v` (Dirichlet boundary).
+    pub fn set_boundary(&mut self, v: T) {
+        let w = self.nx + 2;
+        let h = self.ny + 2;
+        for x in 0..w {
+            self.data[x] = v;
+            self.data[(h - 1) * w + x] = v;
+        }
+        for y in 0..h {
+            self.data[y * w] = v;
+            self.data[y * w + w - 1] = v;
+        }
+    }
+
+    /// One full interior row including its left/right halo cells
+    /// (`nx + 2` elements).
+    #[inline(always)]
+    pub fn row_with_halo(&self, y: usize) -> &[T] {
+        let w = self.nx + 2;
+        &self.data[(y + 1) * w..(y + 2) * w]
+    }
+
+    /// Raw row `hy` in halo coordinates (`0..ny + 2`), `nx + 2` elements.
+    /// `raw_row(y + 1)` is interior row `y`; rows `0` and `ny + 1` are the
+    /// top/bottom halo rows.
+    #[inline(always)]
+    pub fn raw_row(&self, hy: usize) -> &[T] {
+        let w = self.nx + 2;
+        &self.data[hy * w..(hy + 1) * w]
+    }
+
+    /// Overwrite the interior columns of the *top* halo row (row `-1`) —
+    /// used by distributed solvers whose upper neighbour supplies it.
+    ///
+    /// # Panics
+    /// Panics if `vals.len() != nx`.
+    pub fn set_top_halo_row(&mut self, vals: &[T]) {
+        assert_eq!(vals.len(), self.nx);
+        self.data[1..1 + self.nx].copy_from_slice(vals);
+    }
+
+    /// Overwrite the interior columns of the *bottom* halo row (row `ny`).
+    ///
+    /// # Panics
+    /// Panics if `vals.len() != nx`.
+    pub fn set_bottom_halo_row(&mut self, vals: &[T]) {
+        assert_eq!(vals.len(), self.nx);
+        let w = self.nx + 2;
+        let start = (self.ny + 1) * w + 1;
+        self.data[start..start + self.nx].copy_from_slice(vals);
+    }
+
+    /// The interior columns of interior row `y`, as a fresh Vec (what a
+    /// distributed solver ships to its neighbour).
+    pub fn interior_row(&self, y: usize) -> Vec<T> {
+        let w = self.nx + 2;
+        let start = (y + 1) * w + 1;
+        self.data[start..start + self.nx].to_vec()
+    }
+
+    /// Disjoint mutable views of every interior row (halo cells excluded),
+    /// for parallel row-wise updates.
+    pub fn interior_rows_mut(&mut self) -> Vec<&mut [T]> {
+        let w = self.nx + 2;
+        let nx = self.nx;
+        let mut rest = &mut self.data[w..]; // skip the top halo row
+        let mut out = Vec::with_capacity(self.ny);
+        for _ in 0..self.ny {
+            let (row, r) = rest.split_at_mut(w);
+            out.push(&mut row[1..1 + nx]);
+            rest = r;
+        }
+        out
+    }
+
+    /// Mutable interior row (without halo cells).
+    #[inline(always)]
+    pub fn row_interior_mut(&mut self, y: usize) -> &mut [T] {
+        let w = self.nx + 2;
+        let start = (y + 1) * w + 1;
+        &mut self.data[start..start + self.nx]
+    }
+
+    /// Interior values in row-major order.
+    pub fn interior(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.nx * self.ny);
+        for y in 0..self.ny {
+            for x in 0..self.nx {
+                out.push(self.get(x, y));
+            }
+        }
+        out
+    }
+
+    /// Max |a - b| over the interior of two same-shaped grids.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &ScalarGrid<T>) -> f64 {
+        assert_eq!((self.nx, self.ny), (other.nx, other.ny));
+        let mut m = 0.0f64;
+        for y in 0..self.ny {
+            for x in 0..self.nx {
+                m = m.max((self.get(x, y).to_f64() - other.get(x, y).to_f64()).abs());
+            }
+        }
+        m
+    }
+}
+
+/// A grid whose rows are stored in the Virtual Node Scheme packed layout:
+/// `ny + 2` rows (top/bottom boundary rows included), each a packed row of
+/// `nx / W` interior packs plus two halo packs.
+#[derive(Clone, Debug)]
+pub struct VnsGrid<T: Element, const W: usize> {
+    nx: usize,
+    ny: usize,
+    boundary: T,
+    /// `ny + 2` packed rows; row 0 and row `ny + 1` are boundary rows.
+    rows: Vec<VnsRow<T, W>>,
+}
+
+impl<T: Element, const W: usize> VnsGrid<T, W> {
+    /// Build from a scalar grid (the interior is re-laid-out; the halo
+    /// value is read from the scalar grid's boundary ring corner).
+    ///
+    /// # Panics
+    /// Panics if `nx` is not a positive multiple of `W`.
+    pub fn from_scalar(src: &ScalarGrid<T>) -> Self {
+        let nx = src.nx();
+        let ny = src.ny();
+        assert!(nx % W == 0 && nx > 0, "nx={nx} must be a multiple of W={W}");
+        let boundary = src.get_halo(0, 0);
+        let mut rows = Vec::with_capacity(ny + 2);
+        // Boundary rows replicate the Dirichlet value.
+        let boundary_scalars = vec![boundary; nx];
+        rows.push(VnsRow::from_scalars(&boundary_scalars, boundary, boundary));
+        for y in 0..ny {
+            let scalars: Vec<T> = (0..nx).map(|x| src.get(x, y)).collect();
+            rows.push(VnsRow::from_scalars(&scalars, boundary, boundary));
+        }
+        rows.push(VnsRow::from_scalars(&boundary_scalars, boundary, boundary));
+        VnsGrid { nx, ny, boundary, rows }
+    }
+
+    /// Interior width in scalars.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Interior height.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Interior packs per row.
+    pub fn m(&self) -> usize {
+        self.nx / W
+    }
+
+    /// The Dirichlet boundary value.
+    pub fn boundary(&self) -> T {
+        self.boundary
+    }
+
+    /// Packed row `y` (0 = top boundary row, `1..=ny` interior,
+    /// `ny + 1` = bottom boundary row).
+    #[inline(always)]
+    pub fn row(&self, y: usize) -> &VnsRow<T, W> {
+        &self.rows[y]
+    }
+
+    /// Mutable packed row.
+    #[inline(always)]
+    pub fn row_mut(&mut self, y: usize) -> &mut VnsRow<T, W> {
+        &mut self.rows[y]
+    }
+
+    /// Disjoint mutable views of the `ny` interior packed rows.
+    pub fn interior_rows_mut(&mut self) -> Vec<&mut VnsRow<T, W>> {
+        let ny = self.ny;
+        self.rows[1..=ny].iter_mut().collect()
+    }
+
+    /// Raw split access for the update kernel: packs of three consecutive
+    /// rows (above / at / below interior row `y`, 1-based).
+    #[inline(always)]
+    #[allow(clippy::type_complexity)] // three row views, clearer inline
+    pub fn stencil_rows(&self, y: usize) -> (&[Pack<T, W>], &[Pack<T, W>], &[Pack<T, W>]) {
+        (self.rows[y - 1].packs(), self.rows[y].packs(), self.rows[y + 1].packs())
+    }
+
+    /// Convert back to a scalar grid (boundary ring set to the Dirichlet
+    /// value).
+    pub fn to_scalar(&self) -> ScalarGrid<T> {
+        let mut g = ScalarGrid::zeros(self.nx, self.ny);
+        g.set_boundary(self.boundary);
+        for y in 0..self.ny {
+            let scalars = self.rows[y + 1].to_scalars();
+            for (x, v) in scalars.into_iter().enumerate() {
+                g.set(x, y, v);
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut g = ScalarGrid::<f64>::zeros(4, 3);
+        assert_eq!(g.get(2, 1), 0.0);
+        g.set(2, 1, 5.0);
+        assert_eq!(g.get(2, 1), 5.0);
+        assert_eq!((g.nx(), g.ny()), (4, 3));
+    }
+
+    #[test]
+    fn from_fn_addresses_interior() {
+        let g = ScalarGrid::from_fn(3, 2, |x, y| (10 * y + x) as f32);
+        assert_eq!(g.get(0, 0), 0.0);
+        assert_eq!(g.get(2, 1), 12.0);
+    }
+
+    #[test]
+    fn boundary_ring_wraps_interior() {
+        let mut g = ScalarGrid::<f64>::zeros(2, 2);
+        g.set_boundary(9.0);
+        assert_eq!(g.get_halo(0, 0), 9.0);
+        assert_eq!(g.get_halo(3, 3), 9.0);
+        assert_eq!(g.get_halo(0, 2), 9.0);
+        // Interior untouched.
+        assert_eq!(g.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn row_views_are_consistent() {
+        let mut g = ScalarGrid::<f64>::zeros(4, 2);
+        g.set_boundary(1.0);
+        g.set(0, 1, 7.0);
+        let row = g.row_with_halo(1);
+        assert_eq!(row.len(), 6);
+        assert_eq!(row[0], 1.0, "left halo");
+        assert_eq!(row[1], 7.0, "first interior");
+        g.row_interior_mut(1)[3] = 8.0;
+        assert_eq!(g.get(3, 1), 8.0);
+    }
+
+    #[test]
+    fn vns_roundtrip_preserves_interior() {
+        let src = ScalarGrid::from_fn(8, 5, |x, y| (y * 8 + x) as f64);
+        let vns = VnsGrid::<f64, 4>::from_scalar(&src);
+        assert_eq!(vns.m(), 2);
+        let back = vns.to_scalar();
+        assert_eq!(back.interior(), src.interior());
+    }
+
+    #[test]
+    fn vns_boundary_rows_hold_dirichlet_value() {
+        let mut src = ScalarGrid::<f32>::zeros(4, 2);
+        src.set_boundary(3.0);
+        let vns = VnsGrid::<f32, 4>::from_scalar(&src);
+        assert_eq!(vns.boundary(), 3.0);
+        for s in vns.row(0).to_scalars() {
+            assert_eq!(s, 3.0);
+        }
+        for s in vns.row(3).to_scalars() {
+            assert_eq!(s, 3.0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn vns_requires_multiple_of_width() {
+        let src = ScalarGrid::<f64>::zeros(6, 2);
+        let _ = VnsGrid::<f64, 4>::from_scalar(&src);
+    }
+
+    #[test]
+    fn stencil_rows_expose_three_rows() {
+        let src = ScalarGrid::from_fn(4, 3, |x, y| (y * 4 + x) as f64);
+        let vns = VnsGrid::<f64, 4>::from_scalar(&src);
+        let (above, at, below) = vns.stencil_rows(1);
+        assert_eq!(above.len(), 3); // m + 2 halo packs
+        assert_eq!(at.len(), 3);
+        assert_eq!(below.len(), 3);
+        // Row above interior row 1 is the boundary row (zeros).
+        assert_eq!(above[1].to_array(), [0.0; 4]);
+        // Below is interior row 2 of the source (values 4..8 in VNS order:
+        // m = 1, so pack 0 lane v = scalar v).
+        assert_eq!(below[1].to_array(), [4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_differences() {
+        let a = ScalarGrid::from_fn(3, 3, |_, _| 1.0f64);
+        let mut b = a.clone();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        b.set(1, 1, 1.5);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+}

@@ -1,0 +1,423 @@
+//! The shared-memory 2D Jacobi solver (Listing 2, Eq. 4).
+//!
+//! One time step computes, for every interior cell,
+//! `next = (left + right + up + down) * 0.25`, ping-ponging between two
+//! grids (`U[t % 2]` / `U[(t+1) % 2]` in the paper's code). Rows are
+//! updated in parallel with `parallex`'s `for_each` under a caller-chosen
+//! execution policy — exactly the structure of Listing 2 lines 25–30 —
+//! and the VNS variant re-shuffles its pack halos after each row update
+//! (line 18).
+
+use crate::grid::{ScalarGrid, VnsGrid};
+use parallex::algorithms::ExecutionPolicy;
+use parallex::util::HighResolutionTimer;
+use parallex_simd::traits::Element;
+use parallex_simd::vns::VnsRow;
+use parallex_simd::Pack;
+
+/// Which data layout / vectorization strategy a run uses (the four series
+/// of Figs. 4–8 are {f32, f64} × {auto (scalar), explicit (VNS)}).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JacobiLayout {
+    /// Scalar row-major layout; vectorization left to the compiler.
+    Scalar,
+    /// Virtual Node Scheme packed layout; explicit SIMD.
+    Vns,
+}
+
+/// Outcome of a timed run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats {
+    /// Wall-clock of the stepped region, seconds.
+    pub seconds: f64,
+    /// Achieved giga lattice-site updates per second.
+    pub glups: f64,
+    /// Steps executed.
+    pub steps: usize,
+}
+
+fn stats(nx: usize, ny: usize, steps: usize, seconds: f64) -> RunStats {
+    let lups = nx as f64 * ny as f64 * steps as f64;
+    RunStats { seconds, glups: lups / seconds.max(1e-12) / 1e9, steps }
+}
+
+/// One scalar Jacobi step: read `cur`, write every interior cell of
+/// `next`. Rows are independent tasks under the policy.
+pub fn jacobi_step_scalar<T: Element>(
+    cur: &ScalarGrid<T>,
+    next: &mut ScalarGrid<T>,
+    policy: &ExecutionPolicy,
+) {
+    assert_eq!((cur.nx(), cur.ny()), (next.nx(), next.ny()));
+    let nx = cur.nx();
+    let quarter = T::from_f64(0.25);
+    let mut rows = next.interior_rows_mut();
+    policy.for_each_mut(&mut rows, |y, out_row| {
+        let up = cur.raw_row(y); // halo row above interior row y
+        let mid = cur.raw_row(y + 1);
+        let down = cur.raw_row(y + 2);
+        for x in 0..nx {
+            let hx = x + 1;
+            out_row[x] = (mid[hx - 1] + mid[hx + 1] + up[hx] + down[hx]) * quarter;
+        }
+    });
+}
+
+/// One VNS Jacobi step: identical arithmetic, packed operands, plus the
+/// per-row halo shuffle.
+pub fn jacobi_step_vns<T: Element, const W: usize>(
+    cur: &VnsGrid<T, W>,
+    next: &mut VnsGrid<T, W>,
+    policy: &ExecutionPolicy,
+) {
+    assert_eq!((cur.nx(), cur.ny()), (next.nx(), next.ny()));
+    let boundary = cur.boundary();
+    let quarter = T::from_f64(0.25);
+    let mut rows: Vec<&mut VnsRow<T, W>> = next.interior_rows_mut();
+    policy.for_each_mut(&mut rows, |y, out_row| {
+        let (up, mid, down) = cur.stencil_rows(y + 1);
+        let m = mid.len() - 2;
+        {
+            let packs = out_row.packs_mut();
+            for i in 1..=m {
+                // Same operand order as the scalar kernel, lane-wise, so
+                // the two layouts agree bit-for-bit.
+                packs[i] = (mid[i - 1] + mid[i + 1] + up[i] + down[i]) * Pack::splat(quarter);
+            }
+        }
+        // Listing 2 line 18: keep the pack halos consistent for the next
+        // time step.
+        out_row.refresh_halo(boundary, boundary);
+    });
+}
+
+/// Partial scalar Jacobi step for distributed solvers: with
+/// `edges = false` update only the *interior* rows (`1..ny-1`), which do
+/// not read the top/bottom halo rows; with `edges = true` update only the
+/// first and last interior rows, which do. Splitting the step this way is
+/// what lets halo-row parcels overlap the interior update.
+#[allow(clippy::needless_range_loop)] // x indexes three input rows plus the output
+pub fn jacobi_step_scalar_edges<T: Element>(
+    cur: &ScalarGrid<T>,
+    next: &mut ScalarGrid<T>,
+    policy: &ExecutionPolicy,
+    edges: bool,
+) {
+    assert_eq!((cur.nx(), cur.ny()), (next.nx(), next.ny()));
+    let nx = cur.nx();
+    let ny = cur.ny();
+    let quarter = T::from_f64(0.25);
+    let update_row = |y: usize, out_row: &mut [T]| {
+        let up = cur.raw_row(y);
+        let mid = cur.raw_row(y + 1);
+        let down = cur.raw_row(y + 2);
+        for x in 0..nx {
+            let hx = x + 1;
+            out_row[x] = (mid[hx - 1] + mid[hx + 1] + up[hx] + down[hx]) * quarter;
+        }
+    };
+    let mut rows = next.interior_rows_mut();
+    if edges {
+        update_row(0, rows[0]);
+        if ny > 1 {
+            update_row(ny - 1, rows[ny - 1]);
+        }
+    } else if ny > 2 {
+        policy.for_each_mut(&mut rows[1..ny - 1], |k, out_row| {
+            update_row(k + 1, out_row);
+        });
+    }
+}
+
+/// One scalar Jacobi step traversed in row *tiles* of `tile_rows` — an
+/// explicitly cache-blocked variant. The paper observes that A64FX and
+/// ThunderX2 get this blocking "for free" from their large cache lines
+/// ("We witness results equivalent to cache blocking version of 2D
+/// stencil", Section VII-B); this is that cache-blocked version, for
+/// comparison benchmarks. Results are bit-identical to
+/// [`jacobi_step_scalar`] — only the traversal (and hence cache reuse)
+/// differs.
+///
+/// # Panics
+/// Panics on shape mismatch or `tile_rows == 0`.
+#[allow(clippy::needless_range_loop)] // x indexes three rows plus the output
+pub fn jacobi_step_scalar_tiled<T: Element>(
+    cur: &ScalarGrid<T>,
+    next: &mut ScalarGrid<T>,
+    policy: &ExecutionPolicy,
+    tile_rows: usize,
+) {
+    assert_eq!((cur.nx(), cur.ny()), (next.nx(), next.ny()));
+    assert!(tile_rows > 0, "tile_rows must be positive");
+    let nx = cur.nx();
+    let ny = cur.ny();
+    let quarter = T::from_f64(0.25);
+    let tiles = ny.div_ceil(tile_rows);
+    let mut rows = next.interior_rows_mut();
+    // Group mutable rows into per-tile bundles so each tile is one task.
+    let mut tile_bundles: Vec<Vec<&mut [T]>> = Vec::with_capacity(tiles);
+    {
+        let mut rest = rows.as_mut_slice();
+        while !rest.is_empty() {
+            let take = tile_rows.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            // SAFETY-free trick: move the &mut row slices out via iter_mut.
+            tile_bundles.push(head.iter_mut().map(|r| &mut **r).collect());
+            rest = tail;
+        }
+    }
+    policy.for_each_mut(&mut tile_bundles, |tile_idx, bundle| {
+        let y0 = tile_idx * tile_rows;
+        for (dy, out_row) in bundle.iter_mut().enumerate() {
+            let y = y0 + dy;
+            let up = cur.raw_row(y);
+            let mid = cur.raw_row(y + 1);
+            let down = cur.raw_row(y + 2);
+            for x in 0..nx {
+                let hx = x + 1;
+                out_row[x] = (mid[hx - 1] + mid[hx + 1] + up[hx] + down[hx]) * quarter;
+            }
+        }
+    });
+}
+
+/// Ping-pong runner for the scalar layout.
+pub struct Jacobi2d<T: Element> {
+    cur: ScalarGrid<T>,
+    next: ScalarGrid<T>,
+}
+
+impl<T: Element> Jacobi2d<T> {
+    /// Initialize from interior values and a Dirichlet boundary value.
+    pub fn new(nx: usize, ny: usize, boundary: T, init: impl FnMut(usize, usize) -> T) -> Self {
+        let mut cur = ScalarGrid::from_fn(nx, ny, init);
+        cur.set_boundary(boundary);
+        let mut next = ScalarGrid::zeros(nx, ny);
+        next.set_boundary(boundary);
+        Jacobi2d { cur, next }
+    }
+
+    /// The current-solution grid.
+    pub fn grid(&self) -> &ScalarGrid<T> {
+        &self.cur
+    }
+
+    /// Advance one step.
+    pub fn step(&mut self, policy: &ExecutionPolicy) {
+        jacobi_step_scalar(&self.cur, &mut self.next, policy);
+        std::mem::swap(&mut self.cur, &mut self.next);
+    }
+
+    /// Advance `steps` steps, timed (the `high_resolution_timer` region of
+    /// Listing 2).
+    pub fn run(&mut self, steps: usize, policy: &ExecutionPolicy) -> RunStats {
+        let t = HighResolutionTimer::new();
+        for _ in 0..steps {
+            self.step(policy);
+        }
+        stats(self.cur.nx(), self.cur.ny(), steps, t.elapsed())
+    }
+}
+
+/// Ping-pong runner for the VNS layout.
+pub struct Jacobi2dVns<T: Element, const W: usize> {
+    cur: VnsGrid<T, W>,
+    next: VnsGrid<T, W>,
+}
+
+impl<T: Element, const W: usize> Jacobi2dVns<T, W> {
+    /// Initialize from the same inputs as [`Jacobi2d::new`] (so the two
+    /// layouts can be compared cell-for-cell).
+    pub fn new(nx: usize, ny: usize, boundary: T, init: impl FnMut(usize, usize) -> T) -> Self {
+        let mut scalar = ScalarGrid::from_fn(nx, ny, init);
+        scalar.set_boundary(boundary);
+        let cur = VnsGrid::from_scalar(&scalar);
+        let next = cur.clone();
+        Jacobi2dVns { cur, next }
+    }
+
+    /// The current solution, unpacked.
+    pub fn grid(&self) -> ScalarGrid<T> {
+        self.cur.to_scalar()
+    }
+
+    /// Advance one step.
+    pub fn step(&mut self, policy: &ExecutionPolicy) {
+        jacobi_step_vns(&self.cur, &mut self.next, policy);
+        std::mem::swap(&mut self.cur, &mut self.next);
+    }
+
+    /// Advance `steps` steps, timed.
+    pub fn run(&mut self, steps: usize, policy: &ExecutionPolicy) -> RunStats {
+        let t = HighResolutionTimer::new();
+        for _ in 0..steps {
+            self.step(policy);
+        }
+        stats(self.cur.nx(), self.cur.ny(), steps, t.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallex::algorithms::{par, seq};
+    use parallex::runtime::Runtime;
+
+    fn rt() -> Runtime {
+        Runtime::builder().worker_threads(4).build()
+    }
+
+    fn hot_spot(nx: usize, ny: usize) -> impl FnMut(usize, usize) -> f64 {
+        move |x, y| {
+            if x == nx / 2 && y == ny / 2 {
+                100.0
+            } else {
+                0.0
+            }
+        }
+    }
+
+    #[test]
+    fn one_step_averages_neighbours() {
+        let mut j = Jacobi2d::new(3, 3, 0.0, |x, y| if x == 1 && y == 1 { 4.0 } else { 0.0 });
+        j.step(&seq());
+        let g = j.grid();
+        // Centre becomes the average of four zeros; the four neighbours
+        // each pick up 1.0 from the old centre.
+        assert_eq!(g.get(1, 1), 0.0);
+        assert_eq!(g.get(0, 1), 1.0);
+        assert_eq!(g.get(2, 1), 1.0);
+        assert_eq!(g.get(1, 0), 1.0);
+        assert_eq!(g.get(1, 2), 1.0);
+        assert_eq!(g.get(0, 0), 0.0, "diagonal untouched by 5-point stencil");
+    }
+
+    #[test]
+    fn seq_and_par_agree_bitwise() {
+        let rt = rt();
+        let mut a = Jacobi2d::new(16, 12, 1.0, hot_spot(16, 12));
+        let mut b = Jacobi2d::new(16, 12, 1.0, hot_spot(16, 12));
+        for _ in 0..10 {
+            a.step(&seq());
+            b.step(&par(&rt));
+        }
+        assert_eq!(a.grid().max_abs_diff(b.grid()), 0.0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn scalar_and_vns_agree_bitwise() {
+        // The explicitly vectorized kernel must compute exactly what the
+        // scalar kernel computes (same operand order lane-wise).
+        let rt = rt();
+        let mut s = Jacobi2d::new(16, 8, 0.5, hot_spot(16, 8));
+        let mut v = Jacobi2dVns::<f64, 4>::new(16, 8, 0.5, hot_spot(16, 8));
+        for _ in 0..20 {
+            s.step(&par(&rt));
+            v.step(&par(&rt));
+        }
+        assert_eq!(s.grid().max_abs_diff(&v.grid()), 0.0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn scalar_and_vns_agree_for_f32_and_other_widths() {
+        let mut s = Jacobi2d::<f32>::new(8, 6, 0.0, |x, y| (x * y) as f32);
+        let mut v2 = Jacobi2dVns::<f32, 2>::new(8, 6, 0.0, |x, y| (x * y) as f32);
+        let mut v8 = Jacobi2dVns::<f32, 8>::new(8, 6, 0.0, |x, y| (x * y) as f32);
+        for _ in 0..5 {
+            s.step(&seq());
+            v2.step(&seq());
+            v8.step(&seq());
+        }
+        assert_eq!(s.grid().max_abs_diff(&v2.grid()), 0.0);
+        assert_eq!(s.grid().max_abs_diff(&v8.grid()), 0.0);
+    }
+
+    #[test]
+    fn converges_to_boundary_value() {
+        // Laplace with constant boundary: the interior relaxes to the
+        // boundary value.
+        let mut j = Jacobi2d::<f64>::new(8, 8, 2.0, |_, _| 0.0);
+        for _ in 0..2000 {
+            j.step(&seq());
+        }
+        for y in 0..8 {
+            for x in 0..8 {
+                assert!((j.grid().get(x, y) - 2.0).abs() < 1e-6, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn discrete_maximum_principle_holds() {
+        // Jacobi averaging can never exceed the initial/boundary extremes.
+        let mut j = Jacobi2d::new(12, 12, 0.0, hot_spot(12, 12));
+        for _ in 0..50 {
+            j.step(&seq());
+            let vals = j.grid().interior();
+            let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+            let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(max <= 100.0 + 1e-12 && min >= 0.0);
+        }
+    }
+
+    #[test]
+    fn run_reports_plausible_throughput() {
+        let rt = rt();
+        let mut j = Jacobi2d::new(128, 64, 0.0, |_, _| 1.0);
+        let stats = j.run(10, &par(&rt));
+        assert_eq!(stats.steps, 10);
+        assert!(stats.seconds > 0.0);
+        assert!(stats.glups > 0.0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn block_policy_produces_same_result() {
+        let rt = rt();
+        let mut a = Jacobi2d::new(16, 16, 0.0, hot_spot(16, 16));
+        let mut b = Jacobi2d::new(16, 16, 0.0, hot_spot(16, 16));
+        for _ in 0..5 {
+            a.step(&seq());
+            b.step(&par(&rt).per_worker().block());
+        }
+        assert_eq!(a.grid().max_abs_diff(b.grid()), 0.0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn tiled_step_is_bit_identical_to_plain_step() {
+        let rt = rt();
+        for tile_rows in [1usize, 3, 8, 100] {
+            let mut plain = Jacobi2d::new(16, 10, 0.25, hot_spot(16, 10));
+            let mut tiled_cur = ScalarGrid::from_fn(16, 10, hot_spot(16, 10));
+            tiled_cur.set_boundary(0.25);
+            let mut tiled_next = ScalarGrid::zeros(16, 10);
+            tiled_next.set_boundary(0.25);
+            for _ in 0..6 {
+                plain.step(&par(&rt));
+                jacobi_step_scalar_tiled(&tiled_cur, &mut tiled_next, &par(&rt), tile_rows);
+                std::mem::swap(&mut tiled_cur, &mut tiled_next);
+            }
+            assert_eq!(plain.grid().max_abs_diff(&tiled_cur), 0.0, "tile_rows={tile_rows}");
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "tile_rows")]
+    fn zero_tile_rows_rejected() {
+        let cur = ScalarGrid::<f64>::zeros(4, 4);
+        let mut next = ScalarGrid::<f64>::zeros(4, 4);
+        jacobi_step_scalar_tiled(&cur, &mut next, &seq(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_grids_panic() {
+        let cur = ScalarGrid::<f64>::zeros(4, 4);
+        let mut next = ScalarGrid::<f64>::zeros(4, 5);
+        jacobi_step_scalar(&cur, &mut next, &seq());
+    }
+}

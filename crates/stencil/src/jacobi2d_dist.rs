@@ -1,0 +1,266 @@
+//! Distributed 2D Jacobi — an *extension* beyond the paper.
+//!
+//! The paper runs its 2D stencil shared-memory only (Section V-B) and its
+//! distributed experiments in 1D; combining the two — a row-block
+//! distributed 2D Jacobi with halo-row parcels and compute/communication
+//! overlap — is the natural next step its conclusion points toward, and
+//! exercises every subsystem at once: AGAS components, parcels carrying
+//! `Vec<f64>` payloads, halo mailboxes, per-locality parallel `for_each`,
+//! and the same latency-hiding structure as the 1D solver:
+//!
+//! 1. send this block's top and bottom interior rows (step `t`),
+//! 2. compute the block's interior rows (independent of halo rows),
+//! 3. await the neighbour rows, finish the two edge rows, swap.
+
+use crate::grid::ScalarGrid;
+use crate::halo::HaloMailbox;
+use crate::jacobi2d::jacobi_step_scalar_edges;
+use parallex::agas::Gid;
+use parallex::algorithms::par;
+use parallex::lcos::future::{when_all, Future};
+use parallex::locality::{Cluster, Locality};
+use parallex::parcel::{serialize, ActionId};
+use std::sync::Arc;
+
+/// Action id of the halo-row push message.
+pub const ROW_PUSH: ActionId = 0x4A32; // "J2"
+
+/// Mailbox tag: the incoming row is the receiver's *top* halo.
+pub const TAG_TOP: u8 = 0;
+/// Mailbox tag: the incoming row is the receiver's *bottom* halo.
+pub const TAG_BOTTOM: u8 = 1;
+
+/// Parameters of a distributed 2D Jacobi run.
+#[derive(Clone, Copy, Debug)]
+pub struct Jacobi2dDistParams {
+    /// Global grid width.
+    pub nx: usize,
+    /// Global grid height (row-block partitioned over localities).
+    pub ny: usize,
+    /// Time steps.
+    pub steps: usize,
+    /// Dirichlet boundary value around the global grid.
+    pub boundary: f64,
+}
+
+impl Jacobi2dDistParams {
+    /// Sanity-checked constructor.
+    ///
+    /// # Panics
+    /// Panics on an empty grid.
+    pub fn new(nx: usize, ny: usize, steps: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "empty grid");
+        Jacobi2dDistParams { nx, ny, steps, boundary: 0.0 }
+    }
+}
+
+/// Install the halo-row action on a cluster (once, before solvers).
+pub fn install(cluster: &Cluster) {
+    cluster.register_action(ROW_PUSH, "jacobi2d::row_push", |loc, gid, payload| {
+        let (tag, step, row): (u8, u64, Vec<f64>) = serialize::from_bytes(payload)?;
+        let mailbox = loc.components().get::<HaloMailbox<Vec<f64>>>(gid)?;
+        mailbox.put(tag, step, row);
+        Ok(Vec::new())
+    });
+}
+
+/// The distributed solver: owns per-locality row mailboxes.
+pub struct Jacobi2dDist {
+    cluster: Cluster,
+    params: Jacobi2dDistParams,
+    mailbox_gids: Vec<Gid>,
+}
+
+impl Jacobi2dDist {
+    /// Create solver state on a cluster where [`install`] was called.
+    pub fn new(cluster: &Cluster, params: Jacobi2dDistParams) -> Jacobi2dDist {
+        let mailbox_gids = (0..cluster.len())
+            .map(|i| cluster.new_component(i, HaloMailbox::<Vec<f64>>::new()))
+            .collect();
+        Jacobi2dDist { cluster: cluster.clone(), params, mailbox_gids }
+    }
+
+    /// Row range of locality `i`.
+    pub fn row_range(&self, i: usize) -> std::ops::Range<usize> {
+        parallex::topology::block_ranges(self.params.ny, self.cluster.len())[i].clone()
+    }
+
+    /// Aggregate `(already_arrived, had_to_wait)` halo statistics.
+    pub fn halo_stats(&self) -> (usize, usize) {
+        self.mailbox_gids
+            .iter()
+            .map(|&gid| {
+                self.cluster
+                    .get_component::<HaloMailbox<Vec<f64>>>(gid)
+                    .map(|m| m.take_stats())
+                    .unwrap_or((0, 0))
+            })
+            .fold((0, 0), |(a, b), (c, d)| (a + c, b + d))
+    }
+
+    /// Run to completion; returns the global grid row-major (`ny * nx`).
+    pub fn run(&self, init: impl Fn(usize, usize) -> f64 + Send + Sync + 'static) -> Vec<f64> {
+        let init = Arc::new(init);
+        let n_loc = self.cluster.len();
+        let drivers: Vec<Future<Vec<f64>>> = (0..n_loc)
+            .map(|i| {
+                let loc = self.cluster.locality(i);
+                let params = self.params;
+                let rows = self.row_range(i);
+                let init = init.clone();
+                let my_gid = self.mailbox_gids[i];
+                let up_gid = (i > 0).then(|| self.mailbox_gids[i - 1]);
+                let down_gid = (i + 1 < n_loc).then(|| self.mailbox_gids[i + 1]);
+                let loc2 = loc.clone();
+                loc.runtime().async_task(move || {
+                    drive_block(&loc2, params, rows, &*init, my_gid, up_gid, down_gid)
+                })
+            })
+            .collect();
+        when_all(drivers).get().into_iter().flatten().collect()
+    }
+}
+
+fn drive_block(
+    loc: &Arc<Locality>,
+    params: Jacobi2dDistParams,
+    rows: std::ops::Range<usize>,
+    init: &(dyn Fn(usize, usize) -> f64 + Send + Sync),
+    my_gid: Gid,
+    up_gid: Option<Gid>,
+    down_gid: Option<Gid>,
+) -> Vec<f64> {
+    let block_ny = rows.len();
+    if block_ny == 0 {
+        return Vec::new();
+    }
+    let nx = params.nx;
+    let mailbox = loc
+        .components()
+        .get::<HaloMailbox<Vec<f64>>>(my_gid)
+        .expect("mailbox exists");
+    let rt = loc.runtime().clone();
+    let y0 = rows.start;
+    let mut cur = ScalarGrid::from_fn(nx, block_ny, |x, y| init(x, y0 + y));
+    cur.set_boundary(params.boundary);
+    let mut next = ScalarGrid::zeros(nx, block_ny);
+    next.set_boundary(params.boundary);
+    let boundary_row = vec![params.boundary; nx];
+
+    for t in 0..params.steps as u64 {
+        // (1) Ship edge rows; they travel while the interior computes.
+        if let Some(up) = up_gid {
+            loc.apply(up, ROW_PUSH, &(TAG_BOTTOM, t, cur.interior_row(0)))
+                .expect("row parcel to upper neighbour");
+        }
+        if let Some(down) = down_gid {
+            loc.apply(down, ROW_PUSH, &(TAG_TOP, t, cur.interior_row(block_ny - 1)))
+                .expect("row parcel to lower neighbour");
+        }
+        // (2) Interior rows (1..block_ny-1): independent of halo rows.
+        jacobi_step_scalar_edges(&cur, &mut next, &par(&rt), false);
+        // (3) Resolve halo rows, finish the edge rows.
+        let top = match up_gid {
+            Some(_) => mailbox.take(loc, TAG_TOP, t).get(),
+            None => boundary_row.clone(),
+        };
+        let bottom = match down_gid {
+            Some(_) => mailbox.take(loc, TAG_BOTTOM, t).get(),
+            None => boundary_row.clone(),
+        };
+        cur.set_top_halo_row(&top);
+        cur.set_bottom_halo_row(&bottom);
+        jacobi_step_scalar_edges(&cur, &mut next, &par(&rt), true);
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur.interior()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobi2d::Jacobi2d;
+    use parallex::algorithms::seq;
+
+    fn run_dist(
+        localities: usize,
+        params: Jacobi2dDistParams,
+        init: fn(usize, usize) -> f64,
+    ) -> Vec<f64> {
+        let cluster = Cluster::new(localities, 2);
+        install(&cluster);
+        let solver = Jacobi2dDist::new(&cluster, params);
+        let out = solver.run(init);
+        cluster.shutdown();
+        out
+    }
+
+    fn run_serial(params: Jacobi2dDistParams, init: fn(usize, usize) -> f64) -> Vec<f64> {
+        let mut j = Jacobi2d::new(params.nx, params.ny, params.boundary, init);
+        for _ in 0..params.steps {
+            j.step(&seq());
+        }
+        j.grid().interior()
+    }
+
+    fn spot(x: usize, y: usize) -> f64 {
+        if (3..6).contains(&x) && (4..7).contains(&y) {
+            50.0
+        } else {
+            0.0
+        }
+    }
+
+    #[test]
+    fn matches_shared_memory_solver_one_locality() {
+        let params = Jacobi2dDistParams::new(12, 10, 8);
+        let got = run_dist(1, params, spot);
+        assert_eq!(got, run_serial(params, spot));
+    }
+
+    #[test]
+    fn matches_shared_memory_solver_across_localities() {
+        let params = Jacobi2dDistParams::new(12, 17, 12);
+        let want = run_serial(params, spot);
+        for localities in [2, 3, 4] {
+            let got = run_dist(localities, params, spot);
+            assert_eq!(got.len(), 12 * 17);
+            assert_eq!(got, want, "{localities} localities");
+        }
+    }
+
+    #[test]
+    fn nonzero_boundary_and_uneven_blocks() {
+        let mut params = Jacobi2dDistParams::new(8, 11, 9);
+        params.boundary = 1.5;
+        let want = run_serial(params, |x, y| (x + 2 * y) as f64 * 0.1);
+        let got = run_dist(3, params, |x, y| (x + 2 * y) as f64 * 0.1);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_row_blocks_edge_case() {
+        // As many localities as rows: every block is all edges.
+        let params = Jacobi2dDistParams::new(6, 4, 6);
+        let want = run_serial(params, spot);
+        let got = run_dist(4, params, spot);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn works_under_network_delay() {
+        let params = Jacobi2dDistParams::new(8, 12, 5);
+        let cluster = Cluster::new(3, 2);
+        install(&cluster);
+        cluster.set_network_delay(std::sync::Arc::new(|_p| {
+            std::time::Duration::from_micros(400)
+        }));
+        let solver = Jacobi2dDist::new(&cluster, params);
+        let got = solver.run(spot);
+        let (ready, parked) = solver.halo_stats();
+        cluster.shutdown();
+        assert_eq!(got, run_serial(params, spot));
+        // 3 localities: middle has 2 neighbours, ends 1 each = 4 takes/step.
+        assert_eq!(ready + parked, 4 * params.steps);
+    }
+}

@@ -1,0 +1,37 @@
+//! # parallex-stencil
+//!
+//! The paper's two benchmark applications, implemented for real on the
+//! `parallex` AMT runtime:
+//!
+//! * [`heat1d`] — the fully distributed 1D heat-equation solver of
+//!   Listing 1 / Eq. 3: block-partitioned over the localities of a
+//!   [`parallex::locality::Cluster`], halo cells shipped as parcels, and
+//!   the time-stepper structured so communication overlaps interior
+//!   compute (Section VII-A's latency hiding).
+//! * [`jacobi2d`] — the shared-memory 2D Jacobi solver of Listing 2 /
+//!   Eq. 4, written once over a generic element ([`parallex_simd::Vectorizable`])
+//!   so the same kernel runs in scalar ("auto-vectorized") form and in
+//!   explicit Virtual-Node-Scheme SIMD form with the halo shuffle.
+//! * [`grid`] — the `Grid` container of Listing 2 with both data layouts.
+//! * [`stream`] — a native STREAM COPY benchmark (the Fig. 2 measurement,
+//!   runnable on the host).
+//! * [`plan`] — the task decomposition shared between real execution and
+//!   the `parallex-perfsim` timing model.
+//! * [`verify`] — analytic solutions (exact discrete Fourier decay for the
+//!   heat equation, boundary-consistency checks for Jacobi) used by the
+//!   test suite.
+
+pub mod grid;
+pub mod halo;
+pub mod heat1d;
+pub mod heat1d_dataflow;
+pub mod jacobi2d;
+pub mod jacobi2d_dist;
+pub mod plan;
+pub mod stream;
+pub mod verify;
+
+pub use grid::{ScalarGrid, VnsGrid};
+pub use heat1d::{Heat1dParams, Heat1dSolver};
+pub use jacobi2d::{Jacobi2d, JacobiLayout};
+pub use jacobi2d_dist::{Jacobi2dDist, Jacobi2dDistParams};

@@ -1,0 +1,107 @@
+//! Task decomposition shared between real execution and the performance
+//! simulator.
+//!
+//! Both the real 2D solver (rows chunked into `for_each` tasks) and
+//! `parallex-perfsim`'s DES consume the same [`StencilPlan`]: the real
+//! runner uses its ranges to submit chunk tasks, the simulator turns each
+//! chunk into a simulated task of `lups * ns_per_lup` duration. Keeping
+//! one decomposition guarantees the timing model and the executed code
+//! agree on grain size — the quantity the paper's AMT-overhead discussion
+//! revolves around.
+
+use std::ops::Range;
+
+/// A row-block decomposition of an `nx × ny` stencil step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StencilPlan {
+    nx: usize,
+    ny: usize,
+    chunks: usize,
+}
+
+impl StencilPlan {
+    /// Split `ny` rows into `chunks` row blocks.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(nx: usize, ny: usize, chunks: usize) -> StencilPlan {
+        assert!(nx > 0 && ny > 0 && chunks > 0);
+        StencilPlan { nx, ny, chunks: chunks.min(ny) }
+    }
+
+    /// Grid width.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Number of chunk tasks per time step.
+    pub fn chunks(&self) -> usize {
+        self.chunks
+    }
+
+    /// Row ranges, one per chunk task.
+    pub fn ranges(&self) -> Vec<Range<usize>> {
+        parallex::topology::block_ranges(self.ny, self.chunks)
+    }
+
+    /// Lattice-site updates chunk `i` performs per step.
+    pub fn chunk_lups(&self, i: usize) -> usize {
+        self.ranges()[i].len() * self.nx
+    }
+
+    /// Updates per step over the whole grid.
+    pub fn step_lups(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Which chunk owns row `y`.
+    pub fn chunk_of_row(&self, y: usize) -> usize {
+        self.ranges()
+            .iter()
+            .position(|r| r.contains(&y))
+            .expect("row within grid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_all_rows() {
+        let p = StencilPlan::new(64, 100, 7);
+        let ranges = p.ranges();
+        assert_eq!(ranges.len(), 7);
+        let total: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 100);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, 100);
+    }
+
+    #[test]
+    fn chunk_lups_sum_to_step_lups() {
+        let p = StencilPlan::new(128, 57, 5);
+        let sum: usize = (0..p.chunks()).map(|i| p.chunk_lups(i)).sum();
+        assert_eq!(sum, p.step_lups());
+    }
+
+    #[test]
+    fn more_chunks_than_rows_is_clamped() {
+        let p = StencilPlan::new(8, 3, 100);
+        assert_eq!(p.chunks(), 3);
+    }
+
+    #[test]
+    fn chunk_of_row_is_consistent_with_ranges() {
+        let p = StencilPlan::new(8, 40, 6);
+        for y in 0..40 {
+            let c = p.chunk_of_row(y);
+            assert!(p.ranges()[c].contains(&y));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Reference solutions for the test suite.
+//!
+//! * [`heat1d_reference`] — straightforward serial time-stepping of Eq. 3,
+//!   against which the distributed solver must agree to machine precision.
+//! * [`heat1d_exact_sine_mode`] — the *exact* solution of the discrete
+//!   update for a sine-mode initial condition: mode `k` decays by a
+//!   constant factor per step, `λ_k = 1 - 4 r sin²(kπ / (2(N+1)))`. This
+//!   pins the solver to the PDE discretization, not just to another
+//!   implementation.
+//! * [`jacobi_reference_step`] — serial 5-point Jacobi sweep (Eq. 4).
+
+use crate::grid::ScalarGrid;
+use parallex_simd::traits::Element;
+
+/// Serial reference for the distributed 1D solver: `steps` updates of
+/// Eq. 3 with Dirichlet BCs.
+pub fn heat1d_reference(
+    n: usize,
+    steps: usize,
+    r: f64,
+    left_bc: f64,
+    right_bc: f64,
+    init: impl Fn(usize) -> f64,
+) -> Vec<f64> {
+    let mut u: Vec<f64> = (0..n).map(init).collect();
+    let mut next = vec![0.0; n];
+    for _ in 0..steps {
+        for x in 0..n {
+            let left = if x == 0 { left_bc } else { u[x - 1] };
+            let right = if x + 1 == n { right_bc } else { u[x + 1] };
+            next[x] = u[x] + r * (left - 2.0 * u[x] + right);
+        }
+        std::mem::swap(&mut u, &mut next);
+    }
+    u
+}
+
+/// Decay factor per step of discrete sine mode `k` on `n` interior points.
+pub fn heat1d_mode_decay(n: usize, k: usize, r: f64) -> f64 {
+    let theta = k as f64 * std::f64::consts::PI / (2.0 * (n as f64 + 1.0));
+    1.0 - 4.0 * r * theta.sin().powi(2)
+}
+
+/// Exact value of cell `i` after `steps` updates starting from
+/// `sin(kπ(i+1)/(n+1))` with zero BCs.
+pub fn heat1d_exact_sine_mode(n: usize, k: usize, r: f64, steps: usize, i: usize) -> f64 {
+    let lambda = heat1d_mode_decay(n, k, r);
+    let x = (i as f64 + 1.0) * k as f64 * std::f64::consts::PI / (n as f64 + 1.0);
+    lambda.powi(steps as i32) * x.sin()
+}
+
+/// The sine-mode initial condition matching [`heat1d_exact_sine_mode`].
+pub fn sine_mode_init(n: usize, k: usize) -> impl Fn(usize) -> f64 {
+    move |i| ((i as f64 + 1.0) * k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).sin()
+}
+
+/// Max |a - b| over two equal-length slices.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// One serial Jacobi sweep (Eq. 4) as a reference for the parallel and
+/// VNS kernels.
+pub fn jacobi_reference_step<T: Element>(cur: &ScalarGrid<T>) -> ScalarGrid<T> {
+    let mut next = cur.clone();
+    let quarter = T::from_f64(0.25);
+    for y in 0..cur.ny() {
+        for x in 0..cur.nx() {
+            let up = cur.raw_row(y);
+            let mid = cur.raw_row(y + 1);
+            let down = cur.raw_row(y + 2);
+            let hx = x + 1;
+            next.set(x, y, (mid[hx - 1] + mid[hx + 1] + up[hx] + down[hx]) * quarter);
+        }
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobi2d::Jacobi2d;
+    use parallex::algorithms::seq;
+
+    #[test]
+    fn reference_preserves_constant_field_with_matching_bcs() {
+        let out = heat1d_reference(10, 50, 0.4, 2.0, 2.0, |_| 2.0);
+        for v in out {
+            assert!((v - 2.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn sine_mode_decays_exactly() {
+        let (n, k, r, steps) = (31, 1, 0.4, 40);
+        let got = heat1d_reference(n, steps, r, 0.0, 0.0, sine_mode_init(n, k));
+        for i in 0..n {
+            let want = heat1d_exact_sine_mode(n, k, r, steps, i);
+            assert!((got[i] - want).abs() < 1e-12, "cell {i}: {} vs {want}", got[i]);
+        }
+    }
+
+    #[test]
+    fn higher_modes_decay_faster() {
+        let (n, r) = (63, 0.25);
+        assert!(heat1d_mode_decay(n, 3, r) < heat1d_mode_decay(n, 1, r));
+        assert!(heat1d_mode_decay(n, 1, r) < 1.0);
+        assert!(heat1d_mode_decay(n, 1, r) > 0.0);
+    }
+
+    #[test]
+    fn jacobi_reference_matches_solver_step() {
+        let mut j = Jacobi2d::new(8, 6, 0.25, |x, y| (x as f64 - y as f64) * 0.5);
+        let reference = jacobi_reference_step(j.grid());
+        j.step(&seq());
+        assert_eq!(j.grid().max_abs_diff(&reference), 0.0);
+    }
+
+    #[test]
+    fn max_abs_diff_basics() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.0, 2.5]), 0.5);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+}

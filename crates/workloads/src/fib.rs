@@ -1,0 +1,80 @@
+//! Fork-join recursion (the task-overhead microbenchmark).
+//!
+//! `fib(n)` with task-per-call is the classic AMT overhead probe: almost
+//! no computation, pure spawn/join traffic. The `threshold` parameter is
+//! the grain-size dial — the paper's "contention overheads when the grain
+//! size is too small" in its purest form.
+
+use parallex::runtime::Runtime;
+
+fn fib_seq(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_seq(n - 1) + fib_seq(n - 2)
+    }
+}
+
+/// Compute `fib(n)` with a task per call above `threshold` (below it,
+/// sequential recursion).
+pub fn parallel_fib(rt: &Runtime, n: u64, threshold: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    if n <= threshold {
+        return fib_seq(n);
+    }
+    let rt2 = rt.clone();
+    let left = rt.async_task(move || parallel_fib(&rt2, n - 1, threshold));
+    let right = parallel_fib(rt, n - 2, threshold);
+    left.get() + right
+}
+
+/// Closed-form check value (Binet via iteration, exact in u64 range).
+pub fn fib_reference(n: u64) -> u64 {
+    let (mut a, mut b) = (0u64, 1u64);
+    for _ in 0..n {
+        let c = a + b;
+        a = b;
+        b = c;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_fib_is_correct() {
+        let rt = Runtime::builder().worker_threads(4).build();
+        for n in [0, 1, 2, 10, 20, 26] {
+            assert_eq!(parallel_fib(&rt, n, 10), fib_reference(n), "fib({n})");
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn threshold_does_not_change_the_answer() {
+        let rt = Runtime::builder().worker_threads(3).build();
+        let want = fib_reference(22);
+        for threshold in [2, 5, 12, 21] {
+            assert_eq!(parallel_fib(&rt, 22, threshold), want);
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn runs_on_one_worker() {
+        let rt = Runtime::builder().worker_threads(1).build();
+        assert_eq!(parallel_fib(&rt, 18, 8), fib_reference(18));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn reference_values() {
+        assert_eq!(fib_reference(0), 0);
+        assert_eq!(fib_reference(10), 55);
+        assert_eq!(fib_reference(50), 12_586_269_025);
+    }
+}

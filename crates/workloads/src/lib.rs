@@ -1,0 +1,27 @@
+//! # parallex-workloads
+//!
+//! Irregular task-parallel workloads on the `parallex` runtime. The paper
+//! motivates AMT systems with algorithms that "feature an increased
+//! dynamic behavior and low uniformity" (Section I) — stencils are its
+//! *benchmark*, but the scheduling machinery earns its keep on workloads
+//! like these:
+//!
+//! * [`uts`] — an Unbalanced Tree Search in the spirit of the classic UTS
+//!   benchmark: a deterministic, hash-generated tree whose shape is
+//!   unknown until traversal, the canonical work-stealing stress test.
+//! * [`fib`] — fork-join recursion with grain-size thresholding, the
+//!   standard task-spawn-overhead microbenchmark.
+//! * [`quadrature`] — adaptive Simpson integration: task recursion whose
+//!   depth follows the integrand's local difficulty.
+//!
+//! All three produce deterministic results independent of worker count and
+//! scheduling policy (asserted by the test suite), so they double as
+//! scheduler correctness stressors.
+
+pub mod fib;
+pub mod quadrature;
+pub mod uts;
+
+pub use fib::parallel_fib;
+pub use quadrature::integrate_adaptive;
+pub use uts::{uts_count, UtsParams};

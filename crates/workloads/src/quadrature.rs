@@ -1,0 +1,137 @@
+//! Adaptive Simpson quadrature with task recursion.
+//!
+//! The interval subdivides wherever the integrand is locally hard — the
+//! task tree's shape follows the *data*, which is the "data directed
+//! computing" the ParalleX model description emphasizes (the paper's
+//! Section III-A). Subdivision depth, and hence parallelism, is unknown
+//! until runtime.
+
+use parallex::lcos::dataflow::dataflow2;
+use parallex::lcos::future::Future;
+use parallex::runtime::Runtime;
+use std::sync::Arc;
+
+fn simpson(f: &dyn Fn(f64) -> f64, a: f64, b: f64) -> f64 {
+    (b - a) / 6.0 * (f(a) + 4.0 * f(0.5 * (a + b)) + f(b))
+}
+
+#[allow(clippy::too_many_arguments)] // recursion state is clearer flat
+fn adaptive(
+    rt: &Runtime,
+    f: Arc<dyn Fn(f64) -> f64 + Send + Sync>,
+    a: f64,
+    b: f64,
+    eps: f64,
+    whole: f64,
+    depth: u32,
+    task_depth: u32,
+) -> Future<f64> {
+    let m = 0.5 * (a + b);
+    let left = simpson(f.as_ref(), a, m);
+    let right = simpson(f.as_ref(), m, b);
+    if depth >= 40 || (left + right - whole).abs() <= 15.0 * eps {
+        // Richardson-corrected accept.
+        return rt.make_ready_future(left + right + (left + right - whole) / 15.0);
+    }
+    if depth >= task_depth {
+        // Deep refinement: recurse sequentially inside this task.
+        return rt.make_ready_future(
+            adaptive_seq(f.as_ref(), a, m, eps / 2.0, left, depth + 1)
+                + adaptive_seq(f.as_ref(), m, b, eps / 2.0, right, depth + 1),
+        );
+    }
+    let rt2 = rt.clone();
+    let fa = f.clone();
+    let lf = rt.async_task(move || {
+        adaptive(&rt2, fa, a, m, eps / 2.0, left, depth + 1, task_depth).get()
+    });
+    let rt3 = rt.clone();
+    let fb = f.clone();
+    let rf = rt.async_task(move || {
+        adaptive(&rt3, fb, m, b, eps / 2.0, right, depth + 1, task_depth).get()
+    });
+    dataflow2(lf, rf, |l, r| l + r)
+}
+
+fn adaptive_seq(f: &dyn Fn(f64) -> f64, a: f64, b: f64, eps: f64, whole: f64, depth: u32) -> f64 {
+    let m = 0.5 * (a + b);
+    let left = simpson(f, a, m);
+    let right = simpson(f, m, b);
+    if depth >= 40 || (left + right - whole).abs() <= 15.0 * eps {
+        return left + right + (left + right - whole) / 15.0;
+    }
+    adaptive_seq(f, a, m, eps / 2.0, left, depth + 1)
+        + adaptive_seq(f, m, b, eps / 2.0, right, depth + 1)
+}
+
+/// Integrate `f` over `[a, b]` to absolute tolerance `eps`, spawning a
+/// task per subdivision down to `task_depth` levels.
+pub fn integrate_adaptive(
+    rt: &Runtime,
+    f: impl Fn(f64) -> f64 + Send + Sync + 'static,
+    a: f64,
+    b: f64,
+    eps: f64,
+) -> f64 {
+    assert!(b > a && eps > 0.0);
+    let f: Arc<dyn Fn(f64) -> f64 + Send + Sync> = Arc::new(f);
+    let whole = simpson(f.as_ref(), a, b);
+    adaptive(rt, f, a, b, eps, whole, 0, 8).get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn rt() -> Runtime {
+        Runtime::builder().worker_threads(4).build()
+    }
+
+    #[test]
+    fn integrates_sine_exactly_enough() {
+        let rt = rt();
+        let got = integrate_adaptive(&rt, f64::sin, 0.0, PI, 1e-10);
+        assert!((got - 2.0).abs() < 1e-8, "{got}");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn integrates_a_polynomial() {
+        let rt = rt();
+        // ∫0..2 (3x² + 1) dx = 10; Simpson is exact for cubics.
+        let got = integrate_adaptive(&rt, |x| 3.0 * x * x + 1.0, 0.0, 2.0, 1e-12);
+        assert!((got - 10.0).abs() < 1e-10, "{got}");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn handles_a_locally_hard_integrand() {
+        let rt = rt();
+        // A narrow spike: ∫ 1/(1e-4 + x²) dx over [-1, 1]
+        //   = 2·atan(1/0.01)/0.01.
+        let c: f64 = 1e-4;
+        let want = 2.0 * (1.0 / c.sqrt()).atan() / c.sqrt();
+        let got = integrate_adaptive(&rt, move |x| 1.0 / (c + x * x), -1.0, 1.0, 1e-9);
+        assert!((got - want).abs() / want < 1e-7, "{got} vs {want}");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn single_worker_is_deadlock_free_and_agrees() {
+        let rt1 = Runtime::builder().worker_threads(1).build();
+        let rt4 = rt();
+        let a = integrate_adaptive(&rt1, |x| (x * 3.0).cos() * x, 0.0, 4.0, 1e-10);
+        let b = integrate_adaptive(&rt4, |x| (x * 3.0).cos() * x, 0.0, 4.0, 1e-10);
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        rt1.shutdown();
+        rt4.shutdown();
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_interval_rejected() {
+        let rt = rt();
+        let _ = integrate_adaptive(&rt, |x| x, 1.0, 1.0, 1e-6);
+    }
+}

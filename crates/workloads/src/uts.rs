@@ -1,0 +1,185 @@
+//! Unbalanced Tree Search.
+//!
+//! A deterministic tree is generated on the fly from per-node hashes
+//! (SplitMix64): each node below the root has `branching` children with
+//! probability `q`, none otherwise. The resulting subtree sizes vary
+//! wildly and unpredictably — exactly the "low uniformity" the paper's
+//! introduction says AMT schedulers exist for — so counting the nodes in
+//! parallel is a pure work-stealing stress test. The count for a given
+//! parameter set is a deterministic constant, independent of worker count
+//! or scheduling policy.
+
+use parallex::lcos::future::when_all;
+use parallex::runtime::Runtime;
+
+/// SplitMix64 — tiny, seedable, splittable hash (public domain algorithm).
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Child `i`'s node hash.
+#[inline]
+fn child_hash(parent: u64, i: u64) -> u64 {
+    splitmix64(parent ^ splitmix64(i.wrapping_add(1)))
+}
+
+/// UTS parameters (geometric variant).
+#[derive(Clone, Copy, Debug)]
+pub struct UtsParams {
+    /// Tree seed.
+    pub seed: u64,
+    /// Children of the root (always expanded).
+    pub root_branches: u64,
+    /// Children of an interior node that branches.
+    pub branching: u64,
+    /// Probability an interior node branches, in 1/10000ths.
+    pub q_bp: u64,
+    /// Hard depth cutoff (keeps the expected size finite even for
+    /// super-critical `q`).
+    pub max_depth: u32,
+    /// Subtrees at or below this depth-from-root are counted sequentially
+    /// (grain-size control; 0 ⇒ every node is a task).
+    pub sequential_below: u32,
+}
+
+impl UtsParams {
+    /// A small tree (~tens of thousands of nodes) suitable for tests.
+    pub fn small(seed: u64) -> UtsParams {
+        UtsParams {
+            seed,
+            root_branches: 128,
+            branching: 4,
+            q_bp: 2460, // sub-critical: 4 * 0.246 < 1, but close to critical
+            max_depth: 80,
+            sequential_below: 4,
+        }
+    }
+}
+
+fn num_children(hash: u64, depth: u32, p: &UtsParams) -> u64 {
+    if depth == 0 {
+        return p.root_branches;
+    }
+    if depth >= p.max_depth {
+        return 0;
+    }
+    if splitmix64(hash ^ 0xC0FF_EE00) % 10_000 < p.q_bp {
+        p.branching
+    } else {
+        0
+    }
+}
+
+fn count_sequential(hash: u64, depth: u32, p: &UtsParams) -> u64 {
+    let kids = num_children(hash, depth, p);
+    let mut total = 1;
+    for i in 0..kids {
+        total += count_sequential(child_hash(hash, i), depth + 1, p);
+    }
+    total
+}
+
+fn count_parallel(rt: &Runtime, hash: u64, depth: u32, p: UtsParams) -> u64 {
+    if depth >= p.sequential_below {
+        return count_sequential(hash, depth, &p);
+    }
+    let kids = num_children(hash, depth, &p);
+    let futures: Vec<_> = (0..kids)
+        .map(|i| {
+            let rt2 = rt.clone();
+            let h = child_hash(hash, i);
+            rt.async_task(move || count_parallel(&rt2, h, depth + 1, p))
+        })
+        .collect();
+    1 + when_all(futures).get().into_iter().sum::<u64>()
+}
+
+/// Count the nodes of the parameterized tree in parallel. Deterministic
+/// for a given `UtsParams` regardless of worker count or policy.
+pub fn uts_count(rt: &Runtime, p: UtsParams) -> u64 {
+    count_parallel(rt, splitmix64(p.seed), 0, p)
+}
+
+/// Sequential reference count (for verification).
+pub fn uts_count_sequential(p: UtsParams) -> u64 {
+    count_sequential(splitmix64(p.seed), 0, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallex::sched::SchedulerPolicy;
+
+    #[test]
+    fn parallel_count_matches_sequential_reference() {
+        let p = UtsParams::small(42);
+        let want = uts_count_sequential(p);
+        assert!(want > 2_000, "tree too small to be interesting: {want}");
+        let rt = Runtime::builder().worker_threads(4).build();
+        assert_eq!(uts_count(&rt, p), want);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn count_is_independent_of_workers_and_policy() {
+        let p = UtsParams::small(7);
+        let want = uts_count_sequential(p);
+        for workers in [1, 2, 5] {
+            for policy in [SchedulerPolicy::LocalPriority, SchedulerPolicy::Static] {
+                let rt = Runtime::builder().worker_threads(workers).scheduler(policy).build();
+                assert_eq!(uts_count(&rt, p), want, "{workers} workers {policy:?}");
+                rt.shutdown();
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_trees() {
+        let a = uts_count_sequential(UtsParams::small(1));
+        let b = uts_count_sequential(UtsParams::small(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn subtree_sizes_are_genuinely_unbalanced() {
+        // The whole point: sibling subtrees differ in size by orders of
+        // magnitude.
+        let p = UtsParams::small(42);
+        let root = splitmix64(p.seed);
+        let sizes: Vec<u64> = (0..p.root_branches)
+            .map(|i| count_sequential(child_hash(root, i), 1, &p))
+            .collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max >= 20 * min.max(1), "min {min}, max {max}");
+    }
+
+    #[test]
+    fn depth_cutoff_bounds_the_tree() {
+        let mut p = UtsParams::small(3);
+        p.q_bp = 9_000; // super-critical without the cutoff
+        p.max_depth = 6;
+        p.sequential_below = 0;
+        let n = uts_count_sequential(p);
+        // <= 128 * 4^5 interior expansion bound plus root.
+        assert!(n < 128 * 1024 + 2, "{n}");
+    }
+
+    #[test]
+    fn grain_threshold_does_not_change_the_count() {
+        let base = UtsParams::small(11);
+        let want = uts_count_sequential(base);
+        let rt = Runtime::builder().worker_threads(3).build();
+        for cutoff in [0, 2, 8] {
+            let mut p = base;
+            p.sequential_below = cutoff;
+            assert_eq!(uts_count(&rt, p), want, "cutoff {cutoff}");
+        }
+        rt.shutdown();
+    }
+}

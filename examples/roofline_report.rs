@@ -1,0 +1,62 @@
+//! Roofline analysis of the four machines (Section III-C / Eq. 1): ridge
+//! points, the stencil's arithmetic-intensity operating points, and the
+//! expected-peak lines that Figs. 4–8 draw.
+//!
+//! ```text
+//! cargo run --release -p parallex-bench --example roofline_report
+//! ```
+
+use parallex_machine::spec::ProcessorId;
+use parallex_roofline::{
+    expected_peak_glups, ridge_point, roofline_curve, stencil_ai_lup_per_byte,
+};
+
+fn main() {
+    println!("Roofline model (Eq. 1: attainable = min(CP, AI x BW))\n");
+    println!(
+        "{:<26} {:>12} {:>12} {:>12}",
+        "machine", "CP GFLOP/s", "BW GB/s", "ridge F/B"
+    );
+    for id in ProcessorId::ALL {
+        let p = id.spec();
+        println!(
+            "{:<26} {:>12.0} {:>12.0} {:>12.2}",
+            id.name(),
+            p.peak_dp_gflops(),
+            p.node_bw_gbs(),
+            ridge_point(&p)
+        );
+    }
+
+    println!("\nStencil operating points (LUP/byte):");
+    println!("  f32, 3 transfers: {:.4}  (the paper's 1/12)", stencil_ai_lup_per_byte(4, 3.0));
+    println!("  f64, 3 transfers: {:.4}  (1/24)", stencil_ai_lup_per_byte(8, 3.0));
+    println!("  f32, 2 transfers: {:.4}  (1/8, cache-blocked)", stencil_ai_lup_per_byte(4, 2.0));
+    println!("  f64, 2 transfers: {:.4}  (1/16)", stencil_ai_lup_per_byte(8, 2.0));
+
+    println!("\nExpected peaks at full node (GLUP/s):");
+    println!(
+        "{:<26} {:>14} {:>14} {:>14} {:>14}",
+        "machine", "f32/3xfer", "f32/2xfer", "f64/3xfer", "f64/2xfer"
+    );
+    for id in ProcessorId::ALL {
+        let p = id.spec();
+        let c = p.total_cores();
+        println!(
+            "{:<26} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
+            id.name(),
+            expected_peak_glups(&p, 4, c, 3.0),
+            expected_peak_glups(&p, 4, c, 2.0),
+            expected_peak_glups(&p, 8, c, 3.0),
+            expected_peak_glups(&p, 8, c, 2.0),
+        );
+    }
+
+    println!("\nA64FX roofline curve (DP, log-spaced AI):");
+    for pt in roofline_curve(&ProcessorId::A64FX.spec(), 0.02, 20.0, 12) {
+        let bar = "#".repeat((pt.gops / 60.0) as usize);
+        println!("  AI {:>7.3} -> {:>8.1} GFLOP/s {bar}", pt.ai, pt.gops);
+    }
+    println!("\nEverything left of the ridge is memory-bound — which is where");
+    println!("the 5-point stencil lives on all four machines (Section V-B).");
+}

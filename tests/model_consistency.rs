@@ -1,0 +1,178 @@
+//! Consistency of the performance models with each other and with the
+//! paper's headline claims — the quantitative contract EXPERIMENTS.md
+//! documents, enforced as tests.
+
+use parallex_machine::spec::ProcessorId;
+use parallex_perfsim::des::{simulate_step, DesConfig};
+use parallex_perfsim::exec::{glups_at, memory_time_per_lup_s, pipeline_time_per_lup_s, Stencil2dConfig};
+use parallex_perfsim::heat1d::{speedup, time_seconds, Heat1dConfig};
+use parallex_perfsim::kernel::Vectorization;
+use parallex_perfsim::stream::stream_copy_gbs;
+use parallex_roofline::expected_peak_glups;
+
+#[test]
+fn modeled_throughput_never_beats_the_roofline() {
+    // Eq. 1 is an upper bound; the timing model must respect it for every
+    // machine, dtype, variant and core count (using each machine's true
+    // effective transfer count).
+    for id in ProcessorId::ALL {
+        let spec = id.spec();
+        for bytes in [4usize, 8] {
+            for vec in [Vectorization::Auto, Vectorization::Explicit] {
+                let cfg = Stencil2dConfig::paper(id, bytes, vec);
+                for cores in spec.core_sweep() {
+                    let transfers = parallex_machine::cache::CacheBlocking::of(id)
+                        .transfers_per_lup(bytes, cores, vec == Vectorization::Explicit);
+                    let roof = expected_peak_glups(&spec, bytes, cores, transfers);
+                    let got = glups_at(&cfg, cores);
+                    assert!(
+                        got <= roof * 1.001,
+                        "{id:?} {bytes}B {vec:?} @{cores}: {got} > roof {roof}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn full_node_vectorized_runs_are_bandwidth_bound() {
+    // At full node, the explicitly vectorized kernels should sit close to
+    // their roofline (the paper calls its results "nearly optimal").
+    for id in [ProcessorId::XeonE5_2660v3, ProcessorId::ThunderX2, ProcessorId::A64FX] {
+        let spec = id.spec();
+        let cores = spec.total_cores();
+        let cfg = Stencil2dConfig::paper(id, 4, Vectorization::Explicit);
+        let transfers = parallex_machine::cache::CacheBlocking::of(id)
+            .transfers_per_lup(4, cores, true);
+        let roof = expected_peak_glups(&spec, 4, cores, transfers);
+        let got = glups_at(&cfg, cores);
+        assert!(got > 0.85 * roof, "{id:?}: {got} vs roof {roof}");
+    }
+}
+
+#[test]
+fn stream_model_feeds_the_expected_peaks() {
+    // The expected-peak lines must be exactly stream-bandwidth / bytes in
+    // the memory-bound regime.
+    let p = ProcessorId::Kunpeng916.spec();
+    for cores in [4usize, 16, 48, 64] {
+        let bw = stream_copy_gbs(ProcessorId::Kunpeng916, cores);
+        let peak = expected_peak_glups(&p, 8, cores, 3.0);
+        assert!((peak - bw / 24.0).abs() < 1e-9, "@{cores}: {peak} vs {}", bw / 24.0);
+    }
+}
+
+#[test]
+fn pipeline_vs_memory_regimes_are_as_designed() {
+    // Kunpeng scalar code is pipeline-bound even at full node (that is
+    // where the +80% explicit-vec headroom lives); A64FX vectorized code
+    // is memory-bound at full node.
+    let kp = ProcessorId::Kunpeng916.spec();
+    let pipe = pipeline_time_per_lup_s(&kp, 4, Vectorization::Auto);
+    let mem = memory_time_per_lup_s(&kp, 4, Vectorization::Auto, 64);
+    assert!(pipe > mem, "Kunpeng scalar: pipeline {pipe} vs memory {mem}");
+
+    let a64 = ProcessorId::A64FX.spec();
+    let pipe = pipeline_time_per_lup_s(&a64, 4, Vectorization::Explicit);
+    let mem = memory_time_per_lup_s(&a64, 4, Vectorization::Explicit, 48);
+    assert!(mem > pipe, "A64FX vec: memory {mem} vs pipeline {pipe}");
+}
+
+#[test]
+fn des_and_analytic_model_agree_on_step_makespan() {
+    // The DES scheduler simulation and the closed-form throughput must
+    // agree within a few percent for the paper's configuration.
+    let id = ProcessorId::XeonE5_2660v3;
+    let cores = 20;
+    let cfg = Stencil2dConfig::paper(id, 8, Vectorization::Explicit);
+    let spec = id.spec();
+    let per_lup_ns = pipeline_time_per_lup_s(&spec, 8, Vectorization::Explicit)
+        .max(memory_time_per_lup_s(&spec, 8, Vectorization::Explicit, cores))
+        * 1e9;
+    let lups = (cfg.nx * cfg.ny) as f64;
+    let des = simulate_step(
+        &DesConfig {
+            cores,
+            task_overhead_ns: cfg.task_overhead_ns,
+            steal_enabled: true,
+            steal_latency_ns: 0.0,
+        },
+        lups,
+        4 * cores,
+        per_lup_ns / cores as f64 * cores as f64, // ns per LUP on one core
+    );
+    let analytic_step_s = lups / (glups_at(&cfg, cores) * 1e9);
+    let des_step_s = des.makespan_ns * 1e-9;
+    let err = (des_step_s - analytic_step_s).abs() / analytic_step_s;
+    assert!(err < 0.05, "DES {des_step_s} vs analytic {analytic_step_s} ({err:.3})");
+}
+
+#[test]
+fn paper_headline_speedups_hold() {
+    // Strong scaling factors reported in Section VII-A.
+    let xeon = speedup(&Heat1dConfig::paper_strong(ProcessorId::XeonE5_2660v3), 8);
+    assert!((7.0..7.8).contains(&xeon), "Xeon factor {xeon} (paper: 7.36)");
+    let a64 = speedup(&Heat1dConfig::paper_strong(ProcessorId::A64FX), 8);
+    assert!((6.8..7.6).contains(&a64), "A64FX factor {a64} (paper: 7.2)");
+}
+
+#[test]
+fn weak_scaling_times_match_paper_values() {
+    // Paper: 12s (Xeon) and 7.5s (A64FX), flat in node count.
+    for (id, want) in [(ProcessorId::XeonE5_2660v3, 12.0), (ProcessorId::A64FX, 7.5)] {
+        let cfg = Heat1dConfig::paper_weak(id);
+        for nodes in [1, 2, 4, 8] {
+            let t = time_seconds(&cfg, nodes);
+            assert!(
+                (t - want).abs() / want < 0.12,
+                "{id:?} @{nodes} nodes: {t} vs paper {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ordering_of_machines_matches_fig2_and_fig6() {
+    // Bandwidth order at full node: A64FX >> TX2 > Kunpeng > Xeon
+    // (per-node; Xeon has only 2 sockets of DDR4-2133).
+    let bw: Vec<f64> = ProcessorId::ALL
+        .iter()
+        .map(|&id| stream_copy_gbs(id, id.spec().total_cores()))
+        .collect();
+    let (xeon, kp, tx2, a64) = (bw[0], bw[1], bw[2], bw[3]);
+    assert!(a64 > tx2 && tx2 > kp && kp > xeon, "{bw:?}");
+
+    // And so is the stencil throughput order for vectorized floats.
+    let g: Vec<f64> = ProcessorId::ALL
+        .iter()
+        .map(|&id| {
+            let cfg = Stencil2dConfig::paper(id, 4, Vectorization::Explicit);
+            glups_at(&cfg, id.spec().total_cores())
+        })
+        .collect();
+    assert!(g[3] > g[2] && g[2] > g[1] && g[1] > g[0], "{g:?}");
+}
+
+#[test]
+fn fig7_grid_ablation_is_flat_but_fig5_dips_are_not() {
+    // Two shape claims in one: enlarging the A64FX grid changes nothing;
+    // the Kunpeng curve is genuinely non-monotonic.
+    let base = Stencil2dConfig::paper(ProcessorId::A64FX, 8, Vectorization::Auto);
+    let large = Stencil2dConfig::paper_large(ProcessorId::A64FX, 8, Vectorization::Auto);
+    for cores in [12, 24, 48] {
+        let a = glups_at(&base, cores);
+        let b = glups_at(&large, cores);
+        assert!((a - b).abs() / a < 0.02, "@{cores}: {a} vs {b}");
+    }
+
+    let kp = Stencil2dConfig::paper(ProcessorId::Kunpeng916, 4, Vectorization::Explicit);
+    let series: Vec<f64> = ProcessorId::Kunpeng916
+        .spec()
+        .core_sweep()
+        .into_iter()
+        .map(|c| glups_at(&kp, c))
+        .collect();
+    let non_monotone = series.windows(2).any(|w| w[1] < w[0]);
+    assert!(non_monotone, "Kunpeng curve must dip: {series:?}");
+}

@@ -1,0 +1,233 @@
+//! Property-based tests over the core data structures and invariants.
+
+use parallex::parcel::serialize::{from_bytes, to_bytes};
+use parallex::topology::block_ranges;
+use parallex_simd::vns::{vns_pack, vns_unpack, VnsRow};
+use parallex_simd::Pack;
+use parallex_stencil::verify::heat1d_reference;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- serialization ---------------------------------------------------
+
+    #[test]
+    fn serialization_roundtrips_f64_vectors(v in proptest::collection::vec(any::<f64>(), 0..256)) {
+        let bytes = to_bytes(&v).unwrap();
+        let back: Vec<f64> = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(v.len(), back.len());
+        for (a, b) in v.iter().zip(&back) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrips_nested_structures(
+        pairs in proptest::collection::vec((any::<u32>(), ".{0,16}"), 0..32),
+        opt in proptest::option::of(any::<i64>()),
+    ) {
+        let value = (pairs, opt);
+        let bytes = to_bytes(&value).unwrap();
+        let back: (Vec<(u32, String)>, Option<i64>) = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, value);
+    }
+
+    #[test]
+    fn corrupted_length_prefixes_never_panic(mut bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Arbitrary bytes must either parse or fail cleanly.
+        let _ = from_bytes::<Vec<u64>>(&bytes);
+        let _ = from_bytes::<String>(&bytes);
+        let _ = from_bytes::<(u8, Option<f32>)>(&bytes);
+        bytes.push(0);
+        let _ = from_bytes::<Vec<String>>(&bytes);
+    }
+
+    // ---- block distribution ----------------------------------------------
+
+    #[test]
+    fn block_ranges_partition_exactly(items in 0usize..10_000, parts in 1usize..64) {
+        let ranges = block_ranges(items, parts);
+        prop_assert_eq!(ranges.len(), parts);
+        let mut next = 0;
+        for r in &ranges {
+            prop_assert_eq!(r.start, next);
+            next = r.end;
+        }
+        prop_assert_eq!(next, items);
+        let (min, max) = ranges.iter().fold((usize::MAX, 0), |(mn, mx), r| {
+            (mn.min(r.len()), mx.max(r.len()))
+        });
+        prop_assert!(max - min <= 1);
+    }
+
+    // ---- SIMD packs and the VNS layout ------------------------------------
+
+    #[test]
+    fn pack_arithmetic_matches_scalar(a in proptest::collection::vec(-1e6f64..1e6, 8),
+                                      b in proptest::collection::vec(-1e6f64..1e6, 8)) {
+        let pa = Pack::<f64, 8>::load(&a);
+        let pb = Pack::<f64, 8>::load(&b);
+        let sum = pa + pb;
+        let prod = pa * pb;
+        for i in 0..8 {
+            prop_assert_eq!(sum.lane(i).to_bits(), (a[i] + b[i]).to_bits());
+            prop_assert_eq!(prod.lane(i).to_bits(), (a[i] * b[i]).to_bits());
+        }
+        prop_assert_eq!(pa.mul_add(pb, pa).lane(3).to_bits(), a[3].mul_add(b[3], a[3]).to_bits());
+    }
+
+    #[test]
+    fn vns_pack_unpack_is_identity(m in 1usize..32, seed in any::<u64>()) {
+        let n = m * 4;
+        let scalars: Vec<f64> = (0..n).map(|i| ((seed.wrapping_add(i as u64)) % 1000) as f64).collect();
+        let packs = vns_pack::<f64, 4>(&scalars);
+        prop_assert_eq!(vns_unpack(&packs), scalars);
+    }
+
+    #[test]
+    fn vns_halo_always_matches_scalar_neighbours(m in 1usize..16, seed in any::<u32>()) {
+        let n = m * 4;
+        let scalars: Vec<f64> = (0..n).map(|i| (seed as usize + i * 7) as f64).collect();
+        let (lb, rb) = (-1.5, -2.5);
+        let row = VnsRow::<f64, 4>::from_scalars(&scalars, lb, rb);
+        let packs = row.packs();
+        for i in 0..m {
+            for v in 0..4 {
+                let s = v * m + i;
+                let left = if s == 0 { lb } else { scalars[s - 1] };
+                let right = if s + 1 == n { rb } else { scalars[s + 1] };
+                prop_assert_eq!(packs[i].lane(v), left);
+                prop_assert_eq!(packs[i + 2].lane(v), right);
+            }
+        }
+    }
+
+    // ---- scalar vs. SIMD layout equivalence --------------------------------
+
+    #[test]
+    fn jacobi_layouts_agree_on_random_grids(
+        mx in 1usize..6,
+        ny in 1usize..12,
+        steps in 1usize..8,
+        seed in any::<u32>(),
+        boundary in -5.0f64..5.0,
+    ) {
+        use parallex::algorithms::seq;
+        use parallex_stencil::jacobi2d::{Jacobi2d, Jacobi2dVns};
+        let nx = mx * 4;
+        let init = move |x: usize, y: usize| {
+            ((seed as usize).wrapping_add(x * 31 + y * 57) % 997) as f64 * 0.01
+        };
+        let mut s = Jacobi2d::new(nx, ny, boundary, init);
+        let mut v = Jacobi2dVns::<f64, 4>::new(nx, ny, boundary, init);
+        for _ in 0..steps {
+            s.step(&seq());
+            v.step(&seq());
+        }
+        prop_assert_eq!(s.grid().max_abs_diff(&v.grid()), 0.0);
+    }
+
+    // ---- physics invariants ------------------------------------------------
+
+    #[test]
+    fn heat1d_respects_the_maximum_principle(
+        n in 4usize..64,
+        steps in 0usize..40,
+        r in 0.05f64..0.5,
+        cells in proptest::collection::vec(0.0f64..10.0, 4..64),
+    ) {
+        let hi = cells.iter().cloned().fold(0.0f64, f64::max).max(0.0);
+        let init = move |i: usize| cells[i % cells.len()];
+        let out = heat1d_reference(n, steps, r, 0.0, 0.0, init);
+        for v in out {
+            prop_assert!(v <= hi + 1e-9 && v >= -1e-9, "{v} outside [0, {hi}]");
+        }
+    }
+
+    #[test]
+    fn heat1d_total_heat_never_increases_with_cold_boundaries(
+        n in 4usize..48,
+        steps in 1usize..30,
+    ) {
+        let init = |i: usize| (i % 5) as f64;
+        let before: f64 = (0..n).map(init).sum();
+        let out = heat1d_reference(n, steps, 0.4, 0.0, 0.0, init);
+        let after: f64 = out.iter().sum();
+        prop_assert!(after <= before + 1e-9, "{after} > {before}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ---- DES scheduling bounds (Graham) ------------------------------------
+
+    #[test]
+    fn des_makespan_respects_graham_bounds(
+        durations in proptest::collection::vec(10.0f64..10_000.0, 1..80),
+        cores in 1usize..9,
+    ) {
+        use parallex_perfsim::des::{simulate, DesConfig, SimTask};
+        let cfg = DesConfig {
+            cores,
+            task_overhead_ns: 0.0,
+            steal_enabled: true,
+            steal_latency_ns: 0.0,
+        };
+        let tasks: Vec<SimTask> = durations
+            .iter()
+            .map(|&d| SimTask { duration_ns: d, pinned: None })
+            .collect();
+        let r = simulate(&cfg, &tasks);
+        let total: f64 = durations.iter().sum();
+        let longest = durations.iter().cloned().fold(0.0, f64::max);
+        // Lower bounds: work / P and the longest task.
+        let lb = (total / cores as f64).max(longest);
+        prop_assert!(r.makespan_ns >= lb - cores as f64, "{} < {}", r.makespan_ns, lb);
+        // Greedy upper bound (Graham): work/P + longest (+ integer
+        // rounding slack from the event clock).
+        let ub = total / cores as f64 + longest + durations.len() as f64;
+        prop_assert!(r.makespan_ns <= ub + 1.0, "{} > {}", r.makespan_ns, ub);
+        // Work conservation.
+        let busy: f64 = r.busy_ns.iter().sum();
+        prop_assert!((busy - total).abs() < 1e-6 * total.max(1.0));
+    }
+
+    #[test]
+    fn des_overhead_only_adds_time(
+        durations in proptest::collection::vec(100.0f64..5_000.0, 1..40),
+    ) {
+        use parallex_perfsim::des::{simulate, DesConfig, SimTask};
+        let tasks: Vec<SimTask> = durations
+            .iter()
+            .map(|&d| SimTask { duration_ns: d, pinned: None })
+            .collect();
+        let free = simulate(
+            &DesConfig { cores: 4, task_overhead_ns: 0.0, steal_enabled: true, steal_latency_ns: 0.0 },
+            &tasks,
+        );
+        let taxed = simulate(
+            &DesConfig { cores: 4, task_overhead_ns: 300.0, steal_enabled: true, steal_latency_ns: 0.0 },
+            &tasks,
+        );
+        prop_assert!(taxed.makespan_ns >= free.makespan_ns - 1.0);
+    }
+}
+
+// ---- runtime properties (non-proptest loops over seeds) -------------------
+
+#[test]
+fn for_each_mut_is_a_permutation_safe_write_for_many_shapes() {
+    use parallex::algorithms::par;
+    use parallex::prelude::*;
+    let rt = Runtime::builder().worker_threads(3).build();
+    for len in [0usize, 1, 2, 7, 64, 1023] {
+        for chunks in [1usize, 2, 5, 16] {
+            let mut data = vec![usize::MAX; len];
+            par(&rt).with_chunks(chunks).for_each_mut(&mut data, |i, x| *x = i);
+            assert!(data.iter().enumerate().all(|(i, &v)| v == i), "len={len} chunks={chunks}");
+        }
+    }
+    rt.shutdown();
+}

@@ -1,0 +1,200 @@
+//! Stress and failure-injection tests for the runtime: heavy task storms,
+//! racing LCOs, panicking actions under load, and shutdown robustness.
+
+use parallex::lcos::future::{when_all, when_any};
+use parallex::locality::Cluster;
+use parallex::parcel::serialize;
+use parallex::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn hundred_thousand_tasks_complete() {
+    let rt = Runtime::builder().worker_threads(4).build();
+    let n = Arc::new(AtomicUsize::new(0));
+    const TASKS: usize = 100_000;
+    let l = Latch::for_runtime(&rt, TASKS);
+    for _ in 0..TASKS {
+        let n = n.clone();
+        let l = l.clone();
+        rt.spawn(move || {
+            n.fetch_add(1, Ordering::Relaxed);
+            l.count_down(1);
+        });
+    }
+    l.wait();
+    assert_eq!(n.load(Ordering::Relaxed), TASKS);
+    rt.shutdown();
+}
+
+#[test]
+fn deep_recursive_fork_join() {
+    // Fibonacci via nested async tasks: a dependency tree of thousands of
+    // futures with get() from workers throughout.
+    fn fib(rt: &Runtime, n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        if n < 12 {
+            return fib_seq(n);
+        }
+        let rt2 = rt.clone();
+        let left = rt.async_task(move || fib(&rt2, n - 1));
+        let right = fib(rt, n - 2);
+        left.get() + right
+    }
+    fn fib_seq(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib_seq(n - 1) + fib_seq(n - 2)
+        }
+    }
+    let rt = Runtime::builder().worker_threads(4).build();
+    assert_eq!(fib(&rt, 24), 46_368);
+    rt.shutdown();
+}
+
+#[test]
+fn mixed_panics_do_not_poison_the_pool() {
+    let rt = Runtime::builder().worker_threads(3).build();
+    let futures: Vec<_> = (0..200)
+        .map(|i| {
+            rt.async_task(move || {
+                if i % 7 == 0 {
+                    panic!("task {i} fails");
+                }
+                i
+            })
+        })
+        .collect();
+    let mut ok = 0;
+    let mut failed = 0;
+    for f in futures {
+        match f.try_get() {
+            Ok(_) => ok += 1,
+            Err(_) => failed += 1,
+        }
+    }
+    assert_eq!(failed, 200usize.div_ceil(7));
+    assert_eq!(ok, 200 - failed);
+    // Pool still works afterwards.
+    assert_eq!(rt.async_task(|| 5).get(), 5);
+    rt.shutdown();
+}
+
+#[test]
+fn when_any_under_racing_completions() {
+    let rt = Runtime::builder().worker_threads(4).build();
+    for _ in 0..50 {
+        let fs: Vec<_> = (0..8).map(|i| rt.async_task(move || i)).collect();
+        let (idx, v) = when_any(fs).get();
+        assert_eq!(idx as i32, v);
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn channel_storm_many_tasks() {
+    let rt = Runtime::builder().worker_threads(4).build();
+    let ch: Channel<usize> = Channel::for_runtime(&rt);
+    const MSGS: usize = 10_000;
+    for p in 0..4 {
+        let ch = ch.clone();
+        rt.spawn(move || {
+            for i in 0..MSGS / 4 {
+                ch.send(p * (MSGS / 4) + i).unwrap();
+            }
+        });
+    }
+    let receivers: Vec<_> = (0..MSGS).map(|_| ch.recv()).collect();
+    let sum: usize = when_all(receivers).get().into_iter().sum();
+    assert_eq!(sum, MSGS * (MSGS - 1) / 2);
+    rt.shutdown();
+}
+
+#[test]
+fn cluster_action_storm_with_failures() {
+    let cluster = Cluster::new(4, 2);
+    cluster.register_action(1, "maybe_fail", |_, _, payload| {
+        let i: u64 = serialize::from_bytes(payload)?;
+        if i % 13 == 0 {
+            panic!("injected failure {i}");
+        }
+        serialize::to_bytes(&(i * 2))
+    });
+    let gids: Vec<_> = (0..4).map(|l| cluster.new_component(l, ())).collect();
+    let futures: Vec<_> = (0..400u64)
+        .map(|i| {
+            let src = cluster.locality((i % 4) as usize);
+            src.async_action_raw(gids[(i % 4) as usize], 1, &i).unwrap()
+        })
+        .collect();
+    let mut ok = 0;
+    let mut failed = 0;
+    for (i, f) in futures.into_iter().enumerate() {
+        match f.try_get() {
+            Ok(bytes) => {
+                let v: u64 = serialize::from_bytes(&bytes).unwrap();
+                assert_eq!(v, 2 * i as u64);
+                ok += 1;
+            }
+            Err(parallex::error::Error::RemoteError(m)) => {
+                assert!(m.contains("injected failure"));
+                failed += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert_eq!(failed, 400u64.div_ceil(13) as usize);
+    assert_eq!(ok + failed, 400);
+    cluster.shutdown();
+}
+
+#[test]
+fn rapid_cluster_create_destroy() {
+    for _ in 0..10 {
+        let cluster = Cluster::new(2, 1);
+        cluster.register_action(1, "noop", |_, _, _| Ok(vec![]));
+        let gid = cluster.new_component(1, ());
+        cluster.locality(0).async_action_raw(gid, 1, &()).unwrap().get();
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn migration_under_concurrent_reads() {
+    let cluster = Cluster::new(3, 2);
+    cluster.register_migratable::<Vec<u64>>();
+    cluster.register_action(1, "sum", |loc, gid, _| {
+        let v = loc.components().get::<Vec<u64>>(gid)?;
+        serialize::to_bytes(&v.iter().sum::<u64>())
+    });
+    let gid = cluster.new_component(0, (0..100u64).collect::<Vec<_>>());
+    let want: u64 = (0..100).sum();
+    for round in 0..12 {
+        // Hop the object around while calls keep coming from everywhere.
+        cluster.migrate(gid, round % 3).unwrap();
+        let fs: Vec<_> = (0..3)
+            .map(|l| cluster.locality(l).call::<_, u64>(gid, 1, &()).unwrap())
+            .collect();
+        for f in fs {
+            assert_eq!(f.get(), want);
+        }
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn shutdown_with_queued_work_drains() {
+    let rt = Runtime::builder().worker_threads(2).build();
+    let n = Arc::new(AtomicUsize::new(0));
+    for _ in 0..5_000 {
+        let n = n.clone();
+        rt.spawn(move || {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    rt.shutdown(); // must drain, not drop, the queue
+    assert_eq!(n.load(Ordering::Relaxed), 5_000);
+}
