@@ -614,7 +614,7 @@ mod tests {
             .reduce_all::<(), u32>(WHERE_AM_I, &(), |a, b| a + b)
             .unwrap()
             .get();
-        assert_eq!(sum, 0 + 1 + 2);
+        assert_eq!(sum, 3); // 0 + 1 + 2
         c.shutdown();
     }
 

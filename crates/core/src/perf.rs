@@ -35,10 +35,18 @@ pub struct Snapshot {
     pub tasks_panicked: usize,
     /// Future continuations run.
     pub continuations_run: usize,
-    /// Tasks moved between workers by stealing.
+    /// Successful steal operations (each may move a whole batch).
     pub tasks_stolen: usize,
     /// Total pushes observed by the scheduler.
     pub sched_pushes: usize,
+    /// Victim queues probed while stealing (hits and misses).
+    pub steal_attempts: usize,
+    /// Successful batched steals (`steal_batch_and_pop` into a deque).
+    pub steal_batches: usize,
+    /// Times a worker parked on the scheduler condvar.
+    pub worker_parks: usize,
+    /// Notify syscalls issued to wake parked workers.
+    pub worker_wakes: usize,
     /// Parcels sent.
     pub parcels_sent: usize,
     /// Parcels received.
@@ -55,6 +63,10 @@ impl Counters {
             continuations_run: self.continuations_run.load(Ordering::Relaxed),
             tasks_stolen: sched.stat_stolen.load(Ordering::Relaxed),
             sched_pushes: sched.stat_pushed.load(Ordering::Relaxed),
+            steal_attempts: sched.stat_steal_attempts.load(Ordering::Relaxed),
+            steal_batches: sched.stat_steal_batches.load(Ordering::Relaxed),
+            worker_parks: sched.stat_parks.load(Ordering::Relaxed),
+            worker_wakes: sched.stat_wakes.load(Ordering::Relaxed),
             parcels_sent: self.parcels_sent.load(Ordering::Relaxed),
             parcels_received: self.parcels_received.load(Ordering::Relaxed),
         }
@@ -70,6 +82,10 @@ impl Snapshot {
             ("/threads/count/panicked", self.tasks_panicked),
             ("/threads/count/stolen", self.tasks_stolen),
             ("/threads/count/pushes", self.sched_pushes),
+            ("/threads/count/steal-attempts", self.steal_attempts),
+            ("/threads/count/steal-batches", self.steal_batches),
+            ("/threads/count/parks", self.worker_parks),
+            ("/threads/count/wakes", self.worker_wakes),
             ("/lcos/count/continuations", self.continuations_run),
             ("/parcels/count/sent", self.parcels_sent),
             ("/parcels/count/received", self.parcels_received),
@@ -99,7 +115,9 @@ mod tests {
         let c = Counters::default();
         let s = Scheduler::new(1, SchedulerPolicy::LocalPriority);
         let paths = c.snapshot(&s).as_paths();
-        assert_eq!(paths.len(), 8);
+        assert_eq!(paths.len(), 12);
         assert!(paths.iter().any(|(p, _)| *p == "/threads/count/cumulative"));
+        assert!(paths.iter().any(|(p, _)| *p == "/threads/count/parks"));
+        assert!(paths.iter().any(|(p, _)| *p == "/threads/count/steal-batches"));
     }
 }

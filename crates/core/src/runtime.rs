@@ -212,18 +212,37 @@ impl RuntimeBuilder {
     }
 }
 
+/// Idle backoff ladder: spin (cheap, catches work within ~100ns), then
+/// yield the timeslice, then park on the scheduler's eventcount with no
+/// timeout. The counter is deliberately NOT reset after a fruitless park:
+/// a worker that parked once and found nothing re-parks immediately, so an
+/// idle runtime settles at ~0% CPU instead of cycling through the spin
+/// phase on every spurious wake.
+const IDLE_SPINS: u32 = 64;
+const IDLE_YIELDS: u32 = 16;
+
 fn worker_loop(core: Arc<Core>, index: usize) {
     CURRENT.with(|c| {
         *c.borrow_mut() = Some(WorkerCtx { core: core.clone(), index });
     });
+    let mut idle = 0u32;
     loop {
         if core.run_one(index) {
+            idle = 0;
             continue;
         }
         if core.sched.is_shutdown() && !core.sched.has_queued() {
             break;
         }
-        core.sched.wait_for_work();
+        if idle < IDLE_SPINS {
+            std::hint::spin_loop();
+            idle += 1;
+        } else if idle < IDLE_SPINS + IDLE_YIELDS {
+            std::thread::yield_now();
+            idle += 1;
+        } else {
+            core.sched.wait_for_work();
+        }
     }
     CURRENT.with(|c| *c.borrow_mut() = None);
 }
@@ -580,6 +599,47 @@ mod tests {
             });
             assert_eq!(f.get(), pin);
         }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn busy_workers_receive_no_wake_syscalls() {
+        use std::sync::atomic::AtomicBool;
+        // Occupy every worker with a spinning task, then spawn a burst of
+        // work: with zero parked workers the sleeper count is zero, so no
+        // push may issue a condvar notify (no syscall-level wake).
+        let rt = Runtime::builder().worker_threads(2).build();
+        let release = Arc::new(AtomicBool::new(false));
+        let running = Arc::new(AtomicUsize::new(0));
+        for _ in 0..2 {
+            let release = release.clone();
+            let running = running.clone();
+            rt.spawn(move || {
+                running.fetch_add(1, Ordering::SeqCst);
+                while !release.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+            });
+        }
+        while running.load(Ordering::SeqCst) < 2 {
+            std::thread::yield_now();
+        }
+        let wakes_before = rt.core().sched.stat_wakes.load(Ordering::SeqCst);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let hits = hits.clone();
+            rt.spawn(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let wakes_after = rt.core().sched.stat_wakes.load(Ordering::SeqCst);
+        assert_eq!(
+            wakes_after, wakes_before,
+            "pushes while all workers are busy must not notify"
+        );
+        release.store(true, Ordering::SeqCst);
+        rt.wait_idle();
+        assert_eq!(hits.load(Ordering::SeqCst), 100);
         rt.shutdown();
     }
 }

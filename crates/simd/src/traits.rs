@@ -204,14 +204,14 @@ mod tests {
     #[test]
     fn scalar_is_one_lane() {
         assert_eq!(<f32 as Vectorizable>::LANES, 1);
-        assert!(!<f64 as Vectorizable>::IS_PACK);
+        const { assert!(!<f64 as Vectorizable>::IS_PACK) };
         assert_eq!(<f64 as Vectorizable>::splat(3.0), 3.0);
     }
 
     #[test]
     fn pack_reports_lanes() {
         assert_eq!(<Pack<f32, 8> as Vectorizable>::LANES, 8);
-        assert!(<Pack<f32, 8> as Vectorizable>::IS_PACK);
+        const { assert!(<Pack<f32, 8> as Vectorizable>::IS_PACK) };
     }
 
     #[test]

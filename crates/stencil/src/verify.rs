@@ -101,9 +101,9 @@ mod tests {
     fn sine_mode_decays_exactly() {
         let (n, k, r, steps) = (31, 1, 0.4, 40);
         let got = heat1d_reference(n, steps, r, 0.0, 0.0, sine_mode_init(n, k));
-        for i in 0..n {
+        for (i, &cell) in got.iter().enumerate() {
             let want = heat1d_exact_sine_mode(n, k, r, steps, i);
-            assert!((got[i] - want).abs() < 1e-12, "cell {i}: {} vs {want}", got[i]);
+            assert!((cell - want).abs() < 1e-12, "cell {i}: {cell} vs {want}");
         }
     }
 

@@ -1,0 +1,520 @@
+//! Deserialization half of the data model.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Error values produced by a `Deserializer`.
+pub trait Error: Sized + std::error::Error {
+    fn custom<T: Display>(msg: T) -> Self;
+
+    fn invalid_length(len: usize, expected: &dyn Display) -> Self {
+        Error::custom(format_args!("invalid length {len}, expected {expected}"))
+    }
+
+    fn missing_field(field: &'static str) -> Self {
+        Error::custom(format_args!("missing field `{field}`"))
+    }
+}
+
+/// A data structure that can be deserialized from any format.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+/// A type deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Stateful deserialization entry point; `PhantomData<T>` is the stateless
+/// seed that just runs `T::deserialize`.
+pub trait DeserializeSeed<'de>: Sized {
+    type Value;
+    fn deserialize<D>(self, deserializer: D) -> Result<Self::Value, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D>(self, deserializer: D) -> Result<T, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        T::deserialize(deserializer)
+    }
+}
+
+/// Renders a visitor's `expecting` message for error text.
+struct Expected<'a, V>(&'a V);
+
+impl<'de, V: Visitor<'de>> Display for Expected<'_, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.expecting(f)
+    }
+}
+
+macro_rules! visit_default {
+    ($name:ident, $ty:ty, $what:literal) => {
+        fn $name<E: Error>(self, _v: $ty) -> Result<Self::Value, E> {
+            Err(Error::custom(format_args!(
+                concat!("invalid type: ", $what, ", expected {}"),
+                Expected(&self)
+            )))
+        }
+    };
+}
+
+/// Drives construction of a value from whatever shape the format found.
+pub trait Visitor<'de>: Sized {
+    type Value;
+
+    /// "Expected a …" text used in error messages.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    visit_default!(visit_bool, bool, "a boolean");
+    visit_default!(visit_i8, i8, "an integer");
+    visit_default!(visit_i16, i16, "an integer");
+    visit_default!(visit_i32, i32, "an integer");
+    visit_default!(visit_i64, i64, "an integer");
+    visit_default!(visit_i128, i128, "an integer");
+    visit_default!(visit_u8, u8, "an unsigned integer");
+    visit_default!(visit_u16, u16, "an unsigned integer");
+    visit_default!(visit_u32, u32, "an unsigned integer");
+    visit_default!(visit_u64, u64, "an unsigned integer");
+    visit_default!(visit_u128, u128, "an unsigned integer");
+    visit_default!(visit_f32, f32, "a float");
+    visit_default!(visit_f64, f64, "a float");
+    visit_default!(visit_char, char, "a character");
+
+    fn visit_str<E: Error>(self, _v: &str) -> Result<Self::Value, E> {
+        Err(Error::custom(format_args!(
+            "invalid type: a string, expected {}",
+            Expected(&self)
+        )))
+    }
+
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    fn visit_bytes<E: Error>(self, _v: &[u8]) -> Result<Self::Value, E> {
+        Err(Error::custom(format_args!(
+            "invalid type: bytes, expected {}",
+            Expected(&self)
+        )))
+    }
+
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::custom(format_args!(
+            "invalid type: none, expected {}",
+            Expected(&self)
+        )))
+    }
+
+    fn visit_some<D: Deserializer<'de>>(self, _deserializer: D) -> Result<Self::Value, D::Error> {
+        Err(Error::custom(format_args!(
+            "invalid type: some, expected {}",
+            Expected(&self)
+        )))
+    }
+
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::custom(format_args!(
+            "invalid type: unit, expected {}",
+            Expected(&self)
+        )))
+    }
+
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        _deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        Err(Error::custom(format_args!(
+            "invalid type: newtype struct, expected {}",
+            Expected(&self)
+        )))
+    }
+
+    fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+        Err(Error::custom(format_args!(
+            "invalid type: sequence, expected {}",
+            Expected(&self)
+        )))
+    }
+
+    fn visit_map<A: MapAccess<'de>>(self, _map: A) -> Result<Self::Value, A::Error> {
+        Err(Error::custom(format_args!(
+            "invalid type: map, expected {}",
+            Expected(&self)
+        )))
+    }
+
+    fn visit_enum<A: EnumAccess<'de>>(self, _data: A) -> Result<Self::Value, A::Error> {
+        Err(Error::custom(format_args!(
+            "invalid type: enum, expected {}",
+            Expected(&self)
+        )))
+    }
+}
+
+/// A format that can deserialize the serde data model.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    fn deserialize_i128<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Self::Error> {
+        Err(Error::custom("i128 is not supported by this format"))
+    }
+
+    fn deserialize_u128<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Self::Error> {
+        Err(Error::custom("u128 is not supported by this format"))
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V)
+        -> Result<V::Value, Self::Error>;
+
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+/// Access to the elements of a sequence being deserialized.
+pub trait SeqAccess<'de> {
+    type Error: Error;
+
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the entries of a map being deserialized.
+pub trait MapAccess<'de> {
+    type Error: Error;
+
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V)
+        -> Result<V::Value, Self::Error>;
+
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(k) => Ok(Some((k, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the variant tag of an enum being deserialized.
+pub trait EnumAccess<'de>: Sized {
+    type Error: Error;
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to the contents of the selected enum variant.
+pub trait VariantAccess<'de>: Sized {
+    type Error: Error;
+
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T)
+        -> Result<T::Value, Self::Error>;
+
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V)
+        -> Result<V::Value, Self::Error>;
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Conversion of a plain value into a `Deserializer` over it, used by
+/// formats to hand variant indices to a seed.
+pub trait IntoDeserializer<'de, E: Error = value::Error> {
+    type Deserializer: Deserializer<'de, Error = E>;
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+pub mod value {
+    //! Deserializers over plain in-memory values.
+
+    use super::*;
+
+    /// A plain string error for value deserializers.
+    #[derive(Debug)]
+    pub struct Error(String);
+
+    impl Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    impl super::Error for Error {
+        fn custom<T: Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    impl crate::ser::Error for Error {
+        fn custom<T: Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    macro_rules! forward_to_value {
+        ($($name:ident $(($($arg:ident : $argty:ty),*))?,)*) => {
+            $(
+                fn $name<V: Visitor<'de>>(self $(, $($arg: $argty),*)?, visitor: V)
+                    -> Result<V::Value, Self::Error>
+                {
+                    $($(let _ = $arg;)*)?
+                    self.deserialize_any(visitor)
+                }
+            )*
+        };
+    }
+
+    /// Deserializer over a bare `u32` (enum variant indices).
+    pub struct U32Deserializer<E> {
+        value: u32,
+        marker: PhantomData<E>,
+    }
+
+    impl<'de, E: super::Error> Deserializer<'de> for U32Deserializer<E> {
+        type Error = E;
+
+        fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        forward_to_value! {
+            deserialize_bool, deserialize_i8, deserialize_i16, deserialize_i32,
+            deserialize_i64, deserialize_i128, deserialize_u8, deserialize_u16,
+            deserialize_u32, deserialize_u64, deserialize_u128, deserialize_f32,
+            deserialize_f64, deserialize_char, deserialize_str, deserialize_string,
+            deserialize_bytes, deserialize_byte_buf, deserialize_option,
+            deserialize_unit, deserialize_seq, deserialize_map,
+            deserialize_identifier, deserialize_ignored_any,
+            deserialize_unit_struct(name: &'static str),
+            deserialize_newtype_struct(name: &'static str),
+            deserialize_tuple(len: usize),
+        }
+
+        fn deserialize_tuple_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _len: usize,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+
+        fn deserialize_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _fields: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+
+        fn deserialize_enum<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _variants: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+    }
+
+    impl<'de, E: super::Error> IntoDeserializer<'de, E> for u32 {
+        type Deserializer = U32Deserializer<E>;
+        fn into_deserializer(self) -> U32Deserializer<E> {
+            U32Deserializer { value: self, marker: PhantomData }
+        }
+    }
+
+    /// Deserializer over a bare `usize` (sequence lengths, indices).
+    pub struct UsizeDeserializer<E> {
+        value: usize,
+        marker: PhantomData<E>,
+    }
+
+    impl<'de, E: super::Error> Deserializer<'de> for UsizeDeserializer<E> {
+        type Error = E;
+
+        fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            visitor.visit_u64(self.value as u64)
+        }
+
+        forward_to_value! {
+            deserialize_bool, deserialize_i8, deserialize_i16, deserialize_i32,
+            deserialize_i64, deserialize_i128, deserialize_u8, deserialize_u16,
+            deserialize_u32, deserialize_u64, deserialize_u128, deserialize_f32,
+            deserialize_f64, deserialize_char, deserialize_str, deserialize_string,
+            deserialize_bytes, deserialize_byte_buf, deserialize_option,
+            deserialize_unit, deserialize_seq, deserialize_map,
+            deserialize_identifier, deserialize_ignored_any,
+            deserialize_unit_struct(name: &'static str),
+            deserialize_newtype_struct(name: &'static str),
+            deserialize_tuple(len: usize),
+        }
+
+        fn deserialize_tuple_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _len: usize,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+
+        fn deserialize_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _fields: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+
+        fn deserialize_enum<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _variants: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            self.deserialize_any(visitor)
+        }
+    }
+
+    impl<'de, E: super::Error> IntoDeserializer<'de, E> for usize {
+        type Deserializer = UsizeDeserializer<E>;
+        fn into_deserializer(self) -> UsizeDeserializer<E> {
+            UsizeDeserializer { value: self, marker: PhantomData }
+        }
+    }
+}

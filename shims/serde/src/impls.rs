@@ -1,0 +1,577 @@
+//! `Serialize`/`Deserialize` implementations for the std types this
+//! workspace puts on the wire.
+
+use crate::de::{self, Deserialize, Deserializer, Error as DeError, Visitor};
+use crate::ser::{
+    Serialize, SerializeMap as _, SerializeSeq as _, SerializeTuple as _, Serializer,
+};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+// ---- primitives -----------------------------------------------------------
+
+macro_rules! primitive_serialize {
+    ($($ty:ty => $method:ident,)*) => {
+        $(
+            impl Serialize for $ty {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.$method(*self)
+                }
+            }
+        )*
+    };
+}
+
+primitive_serialize! {
+    bool => serialize_bool,
+    i8 => serialize_i8,
+    i16 => serialize_i16,
+    i32 => serialize_i32,
+    i64 => serialize_i64,
+    i128 => serialize_i128,
+    u8 => serialize_u8,
+    u16 => serialize_u16,
+    u32 => serialize_u32,
+    u64 => serialize_u64,
+    u128 => serialize_u128,
+    f32 => serialize_f32,
+    f64 => serialize_f64,
+    char => serialize_char,
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+/// One visitor per integer target type; any integer visit converts with a
+/// range check, so a format is free to call the width it stored.
+macro_rules! int_deserialize {
+    ($($ty:ty => $deserialize:ident & $expect:literal,)*) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct V;
+                    impl<'de> Visitor<'de> for V {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            f.write_str($expect)
+                        }
+                        int_visits!($ty);
+                    }
+                    deserializer.$deserialize(V)
+                }
+            }
+        )*
+    };
+}
+
+macro_rules! int_visits {
+    ($target:ty) => {
+        int_visit_one!($target, visit_i8, i8);
+        int_visit_one!($target, visit_i16, i16);
+        int_visit_one!($target, visit_i32, i32);
+        int_visit_one!($target, visit_i64, i64);
+        int_visit_one!($target, visit_i128, i128);
+        int_visit_one!($target, visit_u8, u8);
+        int_visit_one!($target, visit_u16, u16);
+        int_visit_one!($target, visit_u32, u32);
+        int_visit_one!($target, visit_u64, u64);
+        int_visit_one!($target, visit_u128, u128);
+    };
+}
+
+macro_rules! int_visit_one {
+    ($target:ty, $visit:ident, $from:ty) => {
+        fn $visit<E: DeError>(self, v: $from) -> Result<$target, E> {
+            <$target>::try_from(v).map_err(|_| {
+                DeError::custom(format_args!(
+                    "integer {} out of range for {}",
+                    v,
+                    stringify!($target)
+                ))
+            })
+        }
+    };
+}
+
+int_deserialize! {
+    i8 => deserialize_i8 & "i8",
+    i16 => deserialize_i16 & "i16",
+    i32 => deserialize_i32 & "i32",
+    i64 => deserialize_i64 & "i64",
+    i128 => deserialize_i128 & "i128",
+    u8 => deserialize_u8 & "u8",
+    u16 => deserialize_u16 & "u16",
+    u32 => deserialize_u32 & "u32",
+    u64 => deserialize_u64 & "u64",
+    u128 => deserialize_u128 & "u128",
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        u64::deserialize(deserializer).and_then(|v| {
+            usize::try_from(v).map_err(|_| DeError::custom("u64 out of range for usize"))
+        })
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        i64::deserialize(deserializer).and_then(|v| {
+            isize::try_from(v).map_err(|_| DeError::custom("i64 out of range for isize"))
+        })
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = bool;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a boolean")
+            }
+            fn visit_bool<E: DeError>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_bool(V)
+    }
+}
+
+macro_rules! float_deserialize {
+    ($($ty:ty => $deserialize:ident, $visit32:ident, $visit64:ident;)*) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct V;
+                    impl<'de> Visitor<'de> for V {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            f.write_str(stringify!($ty))
+                        }
+                        fn visit_f32<E: DeError>(self, v: f32) -> Result<$ty, E> {
+                            Ok(v as $ty)
+                        }
+                        fn visit_f64<E: DeError>(self, v: f64) -> Result<$ty, E> {
+                            Ok(v as $ty)
+                        }
+                        fn visit_i64<E: DeError>(self, v: i64) -> Result<$ty, E> {
+                            Ok(v as $ty)
+                        }
+                        fn visit_u64<E: DeError>(self, v: u64) -> Result<$ty, E> {
+                            Ok(v as $ty)
+                        }
+                    }
+                    deserializer.$deserialize(V)
+                }
+            }
+        )*
+    };
+}
+
+float_deserialize! {
+    f32 => deserialize_f32, visit_f32, visit_f64;
+    f64 => deserialize_f64, visit_f32, visit_f64;
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = char;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a character")
+            }
+            fn visit_char<E: DeError>(self, v: char) -> Result<char, E> {
+                Ok(v)
+            }
+            fn visit_str<E: DeError>(self, v: &str) -> Result<char, E> {
+                let mut it = v.chars();
+                match (it.next(), it.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(DeError::custom("expected a single character")),
+                }
+            }
+        }
+        deserializer.deserialize_char(V)
+    }
+}
+
+// ---- strings --------------------------------------------------------------
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: DeError>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: DeError>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(V)
+    }
+}
+
+// ---- references and boxes -------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(std::sync::Arc::new)
+    }
+}
+
+// ---- unit and option ------------------------------------------------------
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: DeError>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(V)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an option")
+            }
+            fn visit_none<E: DeError>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: DeError>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(self, d: D) -> Result<Option<T>, D::Error> {
+                T::deserialize(d).map(Some)
+            }
+        }
+        deserializer.deserialize_option(V(PhantomData))
+    }
+}
+
+// ---- sequences ------------------------------------------------------------
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: de::SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(v) = seq.next_element()? {
+                    out.push(v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V(PhantomData))
+    }
+}
+
+/// Arrays travel as tuples (fixed length, no prefix), as in upstream serde.
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut t = serializer.serialize_tuple(N)?;
+        for item in self {
+            t.serialize_element(item)?;
+        }
+        t.end()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T, const N: usize>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>, const N: usize> Visitor<'de> for V<T, N> {
+            type Value = [T; N];
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "an array of length {N}")
+            }
+            fn visit_seq<A: de::SeqAccess<'de>>(self, mut seq: A) -> Result<[T; N], A::Error> {
+                let mut out = Vec::with_capacity(N);
+                for i in 0..N {
+                    match seq.next_element()? {
+                        Some(v) => out.push(v),
+                        None => {
+                            return Err(DeError::custom(format_args!(
+                                "array needs {N} elements, got {i}"
+                            )))
+                        }
+                    }
+                }
+                out.try_into()
+                    .map_err(|_| DeError::custom("array length mismatch"))
+            }
+        }
+        deserializer.deserialize_tuple(N, V::<T, N>(PhantomData))
+    }
+}
+
+// ---- tuples ---------------------------------------------------------------
+
+macro_rules! tuple_impls {
+    ($($len:expr => ($($n:tt $t:ident),+))+) => {
+        $(
+            impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    let mut t = serializer.serialize_tuple($len)?;
+                    $(t.serialize_element(&self.$n)?;)+
+                    t.end()
+                }
+            }
+
+            impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct V<$($t),+>(PhantomData<($($t,)+)>);
+                    impl<'de, $($t: Deserialize<'de>),+> Visitor<'de> for V<$($t),+> {
+                        type Value = ($($t,)+);
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            write!(f, "a tuple of length {}", $len)
+                        }
+                        fn visit_seq<A: de::SeqAccess<'de>>(
+                            self,
+                            mut seq: A,
+                        ) -> Result<Self::Value, A::Error> {
+                            Ok(($(
+                                match seq.next_element::<$t>()? {
+                                    Some(v) => v,
+                                    None => return Err(DeError::custom(
+                                        format_args!("tuple needs {} elements", $len),
+                                    )),
+                                },
+                            )+))
+                        }
+                    }
+                    deserializer.deserialize_tuple($len, V(PhantomData))
+                }
+            }
+        )+
+    };
+}
+
+tuple_impls! {
+    1 => (0 T0)
+    2 => (0 T0, 1 T1)
+    3 => (0 T0, 1 T1, 2 T2)
+    4 => (0 T0, 1 T1, 2 T2, 3 T3)
+    5 => (0 T0, 1 T1, 2 T2, 3 T3, 4 T4)
+    6 => (0 T0, 1 T1, 2 T2, 3 T3, 4 T4, 5 T5)
+    7 => (0 T0, 1 T1, 2 T2, 3 T3, 4 T4, 5 T5, 6 T6)
+    8 => (0 T0, 1 T1, 2 T2, 3 T3, 4 T4, 5 T5, 6 T6, 7 T7)
+}
+
+// ---- Result ---------------------------------------------------------------
+
+/// Mirrors upstream serde: `Result` travels as an enum with variants
+/// `Ok` (index 0) and `Err` (index 1).
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Ok(v) => serializer.serialize_newtype_variant("Result", 0, "Ok", v),
+            Err(e) => serializer.serialize_newtype_variant("Result", 1, "Err", e),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, E: Deserialize<'de>> Deserialize<'de> for Result<T, E> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T, E>(PhantomData<(T, E)>);
+        impl<'de, T: Deserialize<'de>, E: Deserialize<'de>> Visitor<'de> for V<T, E> {
+            type Value = Result<T, E>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a Result")
+            }
+            fn visit_enum<A: de::EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+                let (idx, variant): (u32, _) = de::EnumAccess::variant(data)?;
+                match idx {
+                    0 => de::VariantAccess::newtype_variant(variant).map(Ok),
+                    1 => de::VariantAccess::newtype_variant(variant).map(Err),
+                    other => Err(DeError::custom(format_args!(
+                        "invalid variant index {other} for Result"
+                    ))),
+                }
+            }
+        }
+        deserializer.deserialize_enum("Result", &["Ok", "Err"], V(PhantomData))
+    }
+}
+
+// ---- maps -----------------------------------------------------------------
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct Vis<K, V>(PhantomData<(K, V)>);
+        impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Visitor<'de> for Vis<K, V> {
+            type Value = BTreeMap<K, V>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: de::MapAccess<'de>>(
+                self,
+                mut map: A,
+            ) -> Result<Self::Value, A::Error> {
+                let mut out = BTreeMap::new();
+                while let Some((k, v)) = map.next_entry()? {
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(Vis(PhantomData))
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct Vis<K, V>(PhantomData<(K, V)>);
+        impl<'de, K, V> Visitor<'de> for Vis<K, V>
+        where
+            K: Deserialize<'de> + Eq + Hash,
+            V: Deserialize<'de>,
+        {
+            type Value = HashMap<K, V>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: de::MapAccess<'de>>(
+                self,
+                mut map: A,
+            ) -> Result<Self::Value, A::Error> {
+                let mut out = HashMap::with_capacity(map.size_hint().unwrap_or(0).min(4096));
+                while let Some((k, v)) = map.next_entry()? {
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(Vis(PhantomData))
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for [`serde`](https://docs.rs/serde), implementing the
+//! subset of the serde data model this workspace uses: the
+//! [`Serialize`]/[`Deserialize`] traits, the [`ser`] and [`de`] trait
+//! families a format implementation needs (`parallex`'s binary parcel
+//! codec implements both sides in full), impls for the std types the
+//! workspace serializes, and `#[derive(Serialize, Deserialize)]` for
+//! non-generic structs and enums (re-exported from the sibling
+//! `serde_derive` shim). The build container has no registry access, so
+//! the real crate cannot be fetched.
+//!
+//! Not implemented (unused here): zero-copy `&'de` borrows beyond
+//! `visit_borrowed_*` pass-throughs, `#[serde(...)]` attributes,
+//! self-describing-format helpers (`deserialize_any` beyond the trait
+//! slot), and untagged/adjacently tagged enum representations.
+
+pub mod de;
+pub mod ser;
+
+mod impls;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,562 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Expands `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the shapes
+//! this workspace actually defines: non-generic structs (named, tuple,
+//! newtype, unit) and non-generic enums whose variants are unit, newtype,
+//! tuple, or struct-like. Upstream uses `syn`/`quote`; those cannot be
+//! fetched in the build container, so the item is parsed directly off the
+//! `proc_macro` token stream. Only field *names* and *counts* are needed —
+//! field types are never parsed, because the generated `Deserialize` code
+//! recovers them through inference (`next_element()` feeding a struct
+//! literal / constructor call).
+//!
+//! Unsupported (rejected with `compile_error!`): generic parameters and
+//! `where` clauses. Ignored: all attributes, including `#[serde(...)]`
+//! (the workspace uses none). Struct deserialization is sequence-driven
+//! only, matching the non-self-describing parcel codec in
+//! `parallex-core`; map-keyed formats are out of scope.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+use std::str::FromStr;
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+enum Fields {
+    Unit,
+    /// Tuple struct/variant with this many fields.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    TokenStream::from_str(&code).expect("derive shim generated invalid Rust")
+}
+
+// ---- parsing --------------------------------------------------------------
+
+fn peek_punct(it: &mut TokenIter, c: char) -> bool {
+    matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn peek_ident(it: &mut TokenIter, word: &str) -> bool {
+    matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == word)
+}
+
+/// If the next token is a group, return its delimiter and contents without
+/// consuming it.
+fn peek_group(it: &mut TokenIter) -> Option<(Delimiter, TokenStream)> {
+    match it.peek() {
+        Some(TokenTree::Group(g)) => Some((g.delimiter(), g.stream())),
+        _ => None,
+    }
+}
+
+/// Consume `#[...]` attributes (doc comments arrive in this form too).
+fn skip_attributes(it: &mut TokenIter) {
+    while peek_punct(it, '#') {
+        it.next();
+        it.next(); // the [...] group
+    }
+}
+
+/// Consume `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(it: &mut TokenIter) {
+    if peek_ident(it, "pub") {
+        it.next();
+        if let Some((Delimiter::Parenthesis, _)) = peek_group(it) {
+            it.next();
+        }
+    }
+}
+
+/// Consume tokens until a top-level `,` (or the end), tracking `<`/`>`
+/// depth so commas inside generic arguments don't terminate early. Groups
+/// are single tokens, so only angle brackets need explicit depth.
+fn skip_past_comma(it: &mut TokenIter) {
+    let mut depth = 0i32;
+    for tt in it.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it: TokenIter = input.into_iter().peekable();
+
+    skip_attributes(&mut it);
+    skip_visibility(&mut it);
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => {
+            let word = id.to_string();
+            if word != "struct" && word != "enum" {
+                return Err(format!(
+                    "serde derive shim: unsupported item kind `{word}` (only structs and enums)"
+                ));
+            }
+            word
+        }
+        other => {
+            return Err(format!(
+                "serde derive shim: unexpected token {:?} before item keyword",
+                other.map(|t| t.to_string())
+            ))
+        }
+    };
+
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde derive shim: expected item name".into()),
+    };
+
+    if peek_punct(&mut it, '<') {
+        return Err(format!(
+            "serde derive shim: `{name}` is generic; only non-generic types are supported offline"
+        ));
+    }
+    if peek_ident(&mut it, "where") {
+        return Err(format!(
+            "serde derive shim: `{name}` has a where clause; not supported offline"
+        ));
+    }
+
+    if kind == "enum" {
+        match peek_group(&mut it) {
+            Some((Delimiter::Brace, body)) => Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            }),
+            _ => Err(format!("serde derive shim: expected `{{` after `enum {name}`")),
+        }
+    } else {
+        let fields = match peek_group(&mut it) {
+            Some((Delimiter::Brace, body)) => Fields::Named(parse_named_fields(body)?),
+            Some((Delimiter::Parenthesis, body)) => Fields::Tuple(count_tuple_fields(body)),
+            None if peek_punct(&mut it, ';') => Fields::Unit,
+            _ => return Err(format!("serde derive shim: malformed struct `{name}` body")),
+        };
+        Ok(Item::Struct { name, fields })
+    }
+}
+
+/// Count comma-separated items at angle-bracket depth 0, tolerating a
+/// trailing comma.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    let mut any = false;
+    for tt in body {
+        any = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    match (any, trailing_comma) {
+        (false, _) => 0,
+        (true, true) => commas,
+        (true, false) => commas + 1,
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut it: TokenIter = body.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attributes(&mut it);
+        skip_visibility(&mut it);
+        match it.next() {
+            None => return Ok(names),
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                if !peek_punct(&mut it, ':') {
+                    return Err(format!(
+                        "serde derive shim: expected `:` after field `{id}`"
+                    ));
+                }
+                it.next();
+                skip_past_comma(&mut it);
+            }
+            Some(t) => {
+                return Err(format!(
+                    "serde derive shim: unexpected token `{t}` in field list"
+                ))
+            }
+        }
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut it: TokenIter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut it);
+        match it.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(id)) => {
+                let fields = match peek_group(&mut it) {
+                    Some((Delimiter::Parenthesis, inner)) => {
+                        it.next();
+                        Fields::Tuple(count_tuple_fields(inner))
+                    }
+                    Some((Delimiter::Brace, inner)) => {
+                        it.next();
+                        Fields::Named(parse_named_fields(inner)?)
+                    }
+                    _ => Fields::Unit,
+                };
+                // Swallow an optional `= discriminant` and the separator.
+                skip_past_comma(&mut it);
+                variants.push(Variant { name: id.to_string(), fields });
+            }
+            Some(t) => {
+                return Err(format!(
+                    "serde derive shim: unexpected token `{t}` in variant list"
+                ))
+            }
+        }
+    }
+}
+
+// ---- code generation ------------------------------------------------------
+
+fn str_slice(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("{s:?}")).collect();
+    format!("&[{}]", quoted.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, gen_serialize_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, gen_serialize_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, clippy::all)]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S>(&self, __serializer: __S) -> ::core::result::Result<__S::Ok, __S::Error>\n\
+             where __S: ::serde::ser::Serializer {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_serialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => {
+            format!("::serde::ser::Serializer::serialize_unit_struct(__serializer, {name:?})")
+        }
+        Fields::Tuple(1) => format!(
+            "::serde::ser::Serializer::serialize_newtype_struct(__serializer, {name:?}, &self.0)"
+        ),
+        Fields::Tuple(n) => {
+            let mut out = format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_tuple_struct(__serializer, {name:?}, {n}usize)?;\n"
+            );
+            for i in 0..*n {
+                let _ = writeln!(
+                    out,
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{i})?;"
+                );
+            }
+            out.push_str("::serde::ser::SerializeTupleStruct::end(__state)");
+            out
+        }
+        Fields::Named(names) => {
+            let mut out = format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_struct(__serializer, {name:?}, {}usize)?;\n",
+                names.len()
+            );
+            for f in names {
+                let _ = writeln!(
+                    out,
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, {f:?}, &self.{f})?;"
+                );
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__state)");
+            out
+        }
+    }
+}
+
+fn gen_serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    if variants.is_empty() {
+        return "match *self {}".into();
+    }
+    let mut out = String::from("match self {\n");
+    for (i, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                let _ = writeln!(
+                    out,
+                    "{name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(__serializer, {name:?}, {i}u32, {vname:?}),"
+                );
+            }
+            Fields::Tuple(1) => {
+                let _ = writeln!(
+                    out,
+                    "{name}::{vname}(__f0) => ::serde::ser::Serializer::serialize_newtype_variant(__serializer, {name:?}, {i}u32, {vname:?}, __f0),"
+                );
+            }
+            Fields::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                let _ = writeln!(out, "{name}::{vname}({}) => {{", binders.join(", "));
+                let _ = writeln!(
+                    out,
+                    "let mut __state = ::serde::ser::Serializer::serialize_tuple_variant(__serializer, {name:?}, {i}u32, {vname:?}, {n}usize)?;"
+                );
+                for b in &binders {
+                    let _ = writeln!(
+                        out,
+                        "::serde::ser::SerializeTupleVariant::serialize_field(&mut __state, {b})?;"
+                    );
+                }
+                out.push_str("::serde::ser::SerializeTupleVariant::end(__state)\n}\n");
+            }
+            Fields::Named(fields) => {
+                let _ = writeln!(out, "{name}::{vname} {{ {} }} => {{", fields.join(", "));
+                let _ = writeln!(
+                    out,
+                    "let mut __state = ::serde::ser::Serializer::serialize_struct_variant(__serializer, {name:?}, {i}u32, {vname:?}, {}usize)?;",
+                    fields.len()
+                );
+                for f in fields {
+                    let _ = writeln!(
+                        out,
+                        "::serde::ser::SerializeStructVariant::serialize_field(&mut __state, {f:?}, {f})?;"
+                    );
+                }
+                out.push_str("::serde::ser::SerializeStructVariant::end(__state)\n}\n");
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, gen_deserialize_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, gen_deserialize_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, clippy::all)]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D>(__deserializer: __D) -> ::core::result::Result<Self, __D::Error>\n\
+             where __D: ::serde::de::Deserializer<'de> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// `match` arm pulling sequence element `idx` with a length error naming
+/// the overall shape; the element type is inferred from the construction
+/// site this expression is spliced into.
+fn next_element_expr(idx: usize, expected: &str) -> String {
+    format!(
+        "match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+             ::core::option::Option::Some(__value) => __value,\n\
+             ::core::option::Option::None => return ::core::result::Result::Err(\n\
+                 ::serde::de::Error::invalid_length({idx}usize, &{expected:?})),\n\
+         }}"
+    )
+}
+
+/// A `visit_seq` implementation whose body evaluates `construct` (an
+/// expression over `__seq`).
+fn visit_seq_fn(construct: &str) -> String {
+    format!(
+        "fn visit_seq<__A>(self, mut __seq: __A) -> ::core::result::Result<Self::Value, __A::Error>\n\
+         where __A: ::serde::de::SeqAccess<'de> {{\n\
+             ::core::result::Result::Ok({construct})\n\
+         }}"
+    )
+}
+
+fn named_construct(path: &str, fields: &[String], expected: &str) -> String {
+    let mut out = format!("{path} {{\n");
+    for (i, f) in fields.iter().enumerate() {
+        let _ = writeln!(out, "{f}: {},", next_element_expr(i, expected));
+    }
+    out.push('}');
+    out
+}
+
+fn tuple_construct(path: &str, n: usize, expected: &str) -> String {
+    let elems: Vec<String> = (0..n).map(|i| next_element_expr(i, expected)).collect();
+    format!("{path}({})", elems.join(",\n"))
+}
+
+fn visitor_impl(visitor: &str, value: &str, expecting: &str, methods: &str) -> String {
+    format!(
+        "struct {visitor};\n\
+         impl<'de> ::serde::de::Visitor<'de> for {visitor} {{\n\
+             type Value = {value};\n\
+             fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                 __f.write_str({expecting:?})\n\
+             }}\n\
+             {methods}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => {
+            let methods = format!(
+                "fn visit_unit<__E>(self) -> ::core::result::Result<Self::Value, __E>\n\
+                 where __E: ::serde::de::Error {{ ::core::result::Result::Ok({name}) }}"
+            );
+            format!(
+                "{}\n::serde::de::Deserializer::deserialize_unit_struct(__deserializer, {name:?}, __Visitor)",
+                visitor_impl("__Visitor", name, &format!("unit struct {name}"), &methods)
+            )
+        }
+        Fields::Tuple(1) => {
+            let expected = format!("tuple struct {name} with 1 element");
+            let methods = format!(
+                "fn visit_newtype_struct<__E>(self, __inner: __E) -> ::core::result::Result<Self::Value, __E::Error>\n\
+                 where __E: ::serde::de::Deserializer<'de> {{\n\
+                     ::core::result::Result::Ok({name}(::serde::de::Deserialize::deserialize(__inner)?))\n\
+                 }}\n\
+                 {}",
+                visit_seq_fn(&tuple_construct(name, 1, &expected))
+            );
+            format!(
+                "{}\n::serde::de::Deserializer::deserialize_newtype_struct(__deserializer, {name:?}, __Visitor)",
+                visitor_impl("__Visitor", name, &expected, &methods)
+            )
+        }
+        Fields::Tuple(n) => {
+            let expected = format!("tuple struct {name} with {n} elements");
+            let methods = visit_seq_fn(&tuple_construct(name, *n, &expected));
+            format!(
+                "{}\n::serde::de::Deserializer::deserialize_tuple_struct(__deserializer, {name:?}, {n}usize, __Visitor)",
+                visitor_impl("__Visitor", name, &expected, &methods)
+            )
+        }
+        Fields::Named(names) => {
+            let expected = format!("struct {name} with {} fields", names.len());
+            let methods = visit_seq_fn(&named_construct(name, names, &expected));
+            format!(
+                "{}\n::serde::de::Deserializer::deserialize_struct(__deserializer, {name:?}, {}, __Visitor)",
+                visitor_impl("__Visitor", name, &expected, &methods),
+                str_slice(names)
+            )
+        }
+    }
+}
+
+fn gen_deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let n = variants.len();
+    let mut arms = String::new();
+    for (i, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        let path = format!("{name}::{vname}");
+        match &v.fields {
+            Fields::Unit => {
+                let _ = writeln!(
+                    arms,
+                    "{i}u32 => {{ ::serde::de::VariantAccess::unit_variant(__variant)?; ::core::result::Result::Ok({path}) }}"
+                );
+            }
+            Fields::Tuple(1) => {
+                let _ = writeln!(
+                    arms,
+                    "{i}u32 => ::core::result::Result::Ok({path}(::serde::de::VariantAccess::newtype_variant(__variant)?)),"
+                );
+            }
+            Fields::Tuple(k) => {
+                let expected = format!("tuple variant {path} with {k} elements");
+                let visitor = format!("__Variant{i}");
+                let _ = writeln!(
+                    arms,
+                    "{i}u32 => {{\n{}\n::serde::de::VariantAccess::tuple_variant(__variant, {k}usize, {visitor})\n}}",
+                    visitor_impl(
+                        &visitor,
+                        name,
+                        &expected,
+                        &visit_seq_fn(&tuple_construct(&path, *k, &expected)),
+                    )
+                );
+            }
+            Fields::Named(fields) => {
+                let expected = format!("struct variant {path} with {} fields", fields.len());
+                let visitor = format!("__Variant{i}");
+                let _ = writeln!(
+                    arms,
+                    "{i}u32 => {{\n{}\n::serde::de::VariantAccess::struct_variant(__variant, {}, {visitor})\n}}",
+                    visitor_impl(
+                        &visitor,
+                        name,
+                        &expected,
+                        &visit_seq_fn(&named_construct(&path, fields, &expected)),
+                    ),
+                    str_slice(fields)
+                );
+            }
+        }
+    }
+    let variant_names: Vec<String> = variants.iter().map(|v| v.name.clone()).collect();
+    let methods = format!(
+        "fn visit_enum<__A>(self, __data: __A) -> ::core::result::Result<Self::Value, __A::Error>\n\
+         where __A: ::serde::de::EnumAccess<'de> {{\n\
+             let (__index, __variant): (u32, _) = ::serde::de::EnumAccess::variant(__data)?;\n\
+             match __index {{\n\
+                 {arms}\n\
+                 __other => ::core::result::Result::Err(::serde::de::Error::custom(\n\
+                     ::core::format_args!(\"invalid variant index {{}} for enum {name} with {n} variants\", __other))),\n\
+             }}\n\
+         }}"
+    );
+    format!(
+        "{}\n::serde::de::Deserializer::deserialize_enum(__deserializer, {name:?}, {}, __Visitor)",
+        visitor_impl("__Visitor", name, &format!("enum {name}"), &methods),
+        str_slice(&variant_names)
+    )
+}

@@ -231,3 +231,91 @@ fn for_each_mut_is_a_permutation_safe_write_for_many_shapes() {
     }
     rt.shutdown();
 }
+
+// ---- scheduler lane invariants --------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random interleavings of push hints/priorities must preserve the
+    /// per-lane ordering guarantees on a single-threaded drain: pinned is
+    /// FIFO and drains first, then worker-hinted high (FIFO), then global
+    /// high (FIFO), then the owner's deque (LIFO), then the inbox
+    /// (oldest-first, batch-drained), then the global injector.
+    #[test]
+    fn scheduler_lane_invariants_hold(ops in proptest::collection::vec(0u8..6, 1..64)) {
+        use parallex::sched::{Scheduler, SchedulerPolicy};
+        use parallex::task::{Priority, ScheduleHint, Task};
+        use std::sync::{Arc, Mutex};
+
+        let s = Scheduler::new(1, SchedulerPolicy::LocalPriority);
+        let drained = Arc::new(Mutex::new(Vec::new()));
+        // Model of where each push must land. `claimed` mirrors the deque
+        // ownership rule: the pushing thread owns worker 0's deque from
+        // its first `from_worker = Some(0)` push onward, so later
+        // Worker(0)-hinted pushes go to the deque instead of the inbox.
+        let mut pinned = Vec::new();
+        let mut local_high = Vec::new();
+        let mut global_high = Vec::new();
+        let mut deque = Vec::new();
+        let mut inbox = Vec::new();
+        let mut injector = Vec::new();
+        let mut claimed = false;
+        for (tag, &kind) in ops.iter().enumerate() {
+            let drained = drained.clone();
+            let t = Task::new(move || drained.lock().unwrap().push(tag));
+            match kind {
+                0 => { s.push(t, None); injector.push(tag); }
+                1 => { s.push(t, Some(0)); claimed = true; deque.push(tag); }
+                2 => { s.push(t.with_hint(ScheduleHint::Pinned(0)), None); pinned.push(tag); }
+                3 => {
+                    s.push(t.with_hint(ScheduleHint::Worker(0)), None);
+                    if claimed { deque.push(tag); } else { inbox.push(tag); }
+                }
+                4 => { s.push(t.with_priority(Priority::High), None); global_high.push(tag); }
+                _ => {
+                    s.push(
+                        t.with_hint(ScheduleHint::Worker(0)).with_priority(Priority::High),
+                        None,
+                    );
+                    local_high.push(tag);
+                }
+            }
+        }
+        while let Some(t) = s.pop(0) {
+            t.run();
+        }
+        let got = drained.lock().unwrap().clone();
+        prop_assert_eq!(got.len(), ops.len());
+
+        fn seg(got: &[usize], at: &mut usize, n: usize) -> Vec<usize> {
+            let out = got[*at..*at + n].to_vec();
+            *at += n;
+            out
+        }
+        let mut at = 0usize;
+        // Exact-order lanes.
+        prop_assert_eq!(seg(&got, &mut at, pinned.len()), pinned);
+        prop_assert_eq!(seg(&got, &mut at, local_high.len()), local_high);
+        prop_assert_eq!(seg(&got, &mut at, global_high.len()), global_high);
+        let deque_rev: Vec<usize> = deque.iter().rev().copied().collect();
+        prop_assert_eq!(seg(&got, &mut at, deque_rev.len()), deque_rev);
+        // Batch-drained lanes: the oldest element comes out first and the
+        // segment is a permutation of the lane (batches land in the LIFO
+        // deque, so order inside a batch is not FIFO).
+        let mut inbox_seg = seg(&got, &mut at, inbox.len());
+        if let Some(&first) = inbox.first() {
+            prop_assert_eq!(inbox_seg[0], first);
+        }
+        inbox_seg.sort_unstable();
+        inbox.sort_unstable();
+        prop_assert_eq!(inbox_seg, inbox);
+        let mut inj_seg = seg(&got, &mut at, injector.len());
+        if let Some(&first) = injector.first() {
+            prop_assert_eq!(inj_seg[0], first);
+        }
+        inj_seg.sort_unstable();
+        injector.sort_unstable();
+        prop_assert_eq!(inj_seg, injector);
+    }
+}
