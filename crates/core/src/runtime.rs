@@ -241,7 +241,7 @@ fn worker_loop(core: Arc<Core>, index: usize) {
             std::thread::yield_now();
             idle += 1;
         } else {
-            core.sched.wait_for_work();
+            core.sched.wait_for_work(index);
         }
     }
     CURRENT.with(|c| *c.borrow_mut() = None);

@@ -12,19 +12,26 @@
 //! `Injector`s (high and normal priority) accept work arriving from
 //! outside the worker pool; workers drain them in batches straight into
 //! their own deque. Thieves visit victims in NUMA-aware order (same-domain
-//! victims first) and use `steal_batch_and_pop`, so one successful CAS on
-//! the victim amortizes over up to half its queue. A `static` policy
+//! victims first) and use `steal_batch_and_pop`, so one victim visit
+//! amortizes over up to half its queue. A `static` policy
 //! (stealing disabled) matches HPX's `static` scheduler, which the paper's
 //! NUMA experiments rely on for deterministic placement.
 //!
-//! Idle workers park through an eventcount-style protocol instead of the
-//! old 1 ms polling timeout: a worker advertises itself in a sleeper
-//! count, re-validates the queues and an epoch counter, and only then
-//! blocks on a condvar with *no* timeout. Pushers bump the epoch before
-//! reading the sleeper count, which closes the lost-wakeup race the
-//! timeout used to paper over, and they skip the notify syscall entirely
-//! when no worker is parked — a saturated runtime never pays for wakeups
-//! and an idle one burns ~0% CPU.
+//! Idle workers park through per-worker eventcount slots instead of the
+//! old 1 ms polling timeout. Runnable work is tracked in two counters —
+//! a global *shared* count (tasks any worker may acquire) and a per-worker
+//! *private* count (pinned tasks, hinted high-priority tasks, and, under
+//! the static policy, everything hinted to that worker) — so a worker
+//! parks exactly when nothing *it* could pop exists, not merely when the
+//! whole system is empty. A would-be sleeper advertises itself (park flag
+//! plus a sleeper count), re-validates those counters and its slot's epoch,
+//! and only then blocks on its own condvar with *no* timeout. A push that
+//! enqueues private work wakes that worker's slot specifically; a push of
+//! shared work claims any advertised sleeper's flag. Claiming a flag
+//! happens with a `swap`, so each notify syscall is paid at most once and
+//! not at all when nobody is parked — a saturated runtime never pays for
+//! wakeups, an idle one burns ~0% CPU, and a pinned task can never be
+//! stranded by its wakeup going to a worker that cannot acquire it.
 
 use crate::task::{Priority, ScheduleHint, Task};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
@@ -110,6 +117,36 @@ impl DequeSlot {
     }
 }
 
+/// One worker's private parking place (eventcount protocol, per worker).
+///
+/// Giving every worker its own slot is what lets a push of *unacquirable-
+/// by-others* work (a pinned task, or any hinted task under the static
+/// policy) wake exactly the worker that can run it. A single shared
+/// condvar with `notify_one` could hand that wakeup to a worker that can
+/// never pop the task, leaving the target parked forever.
+struct ParkSlot {
+    lock: Mutex<()>,
+    cond: Condvar,
+    /// The worker advertises intent to park; wakers claim the flag with a
+    /// `swap(false)`, so each parked worker costs at most one notify.
+    parked: AtomicBool,
+    /// Bumped (under `lock`) by every wake; a would-be sleeper re-validates
+    /// it under the lock so a wake between "checked the queues" and
+    /// "blocked on the condvar" can never be lost.
+    epoch: AtomicUsize,
+}
+
+impl ParkSlot {
+    fn new() -> Self {
+        ParkSlot {
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+            parked: AtomicBool::new(false),
+            epoch: AtomicUsize::new(0),
+        }
+    }
+}
+
 struct WorkerQueues {
     /// Tasks pinned to this worker; never stolen.
     pinned: SegQueue<Task>,
@@ -122,6 +159,12 @@ struct WorkerQueues {
     stealer: Stealer<Task>,
     /// Owner end of this worker's deque, behind the claim protocol.
     slot: DequeSlot,
+    /// Queued tasks only this worker may pop: pinned + hinted-high, plus
+    /// deque/inbox contents under [`SchedulerPolicy::Static`]. Feeds the
+    /// park predicate so idle peers neither spin on nor get woken for
+    /// work they cannot acquire.
+    private: AtomicUsize,
+    park: ParkSlot,
 }
 
 impl WorkerQueues {
@@ -134,20 +177,10 @@ impl WorkerQueues {
             inbox: Injector::new(),
             stealer,
             slot: DequeSlot { owner: AtomicU64::new(0), deque: UnsafeCell::new(deque) },
+            private: AtomicUsize::new(0),
+            park: ParkSlot::new(),
         }
     }
-}
-
-/// Sleep/wake coordination for idle workers (eventcount protocol).
-struct SleepCtl {
-    lock: Mutex<()>,
-    cond: Condvar,
-    /// Workers currently registered as (about to be) parked.
-    sleepers: AtomicUsize,
-    /// Bumped by every push; a would-be sleeper re-validates it under the
-    /// lock so a push between "checked the queues" and "blocked on the
-    /// condvar" can never be lost.
-    epoch: AtomicUsize,
 }
 
 /// The shared scheduler state. One instance per [`crate::runtime::Runtime`].
@@ -156,12 +189,18 @@ pub struct Scheduler {
     queues: Vec<WorkerQueues>,
     injector_high: Injector<Task>,
     injector: Injector<Task>,
-    sleep: SleepCtl,
+    /// Workers currently registered as (about to be) parked; lets pushers
+    /// of shared work skip the park-flag scan when everyone is busy.
+    sleepers: AtomicUsize,
     /// Per-thief victim visit order (NUMA-aware stealing: same-domain
     /// victims first, so stolen tasks stay close to their data).
     steal_order: Vec<Vec<usize>>,
     /// Tasks pushed but not yet popped.
     queued: AtomicUsize,
+    /// Queued tasks acquirable by *any* worker (injectors, plus deques and
+    /// inboxes when stealing is enabled). Counterpart of the per-worker
+    /// `private` counts; together they drive the park predicate.
+    shared: AtomicUsize,
     /// Monotone counters for [`crate::perf`].
     pub(crate) stat_pushed: AtomicUsize,
     /// Successful steal operations (each may move a whole batch).
@@ -204,14 +243,10 @@ impl Scheduler {
             queues: (0..workers).map(|_| WorkerQueues::new()).collect(),
             injector_high: Injector::new(),
             injector: Injector::new(),
-            sleep: SleepCtl {
-                lock: Mutex::new(()),
-                cond: Condvar::new(),
-                sleepers: AtomicUsize::new(0),
-                epoch: AtomicUsize::new(0),
-            },
+            sleepers: AtomicUsize::new(0),
             steal_order: cyclic_order(workers),
             queued: AtomicUsize::new(0),
+            shared: AtomicUsize::new(0),
             stat_pushed: AtomicUsize::new(0),
             stat_stolen: AtomicUsize::new(0),
             stat_steal_attempts: AtomicUsize::new(0),
@@ -260,34 +295,73 @@ impl Scheduler {
         self.policy
     }
 
+    /// Whether a worker's deque/inbox contents are acquirable by other
+    /// workers (they are, unless stealing is disabled).
+    fn local_is_shared(&self) -> bool {
+        self.policy != SchedulerPolicy::Static
+    }
+
     /// Enqueue a task. `from_worker` is the id of the calling worker if the
     /// caller *is* one of this scheduler's workers (lets unhinted tasks go
     /// to the caller's local deque, HPX's default child-stealing setup).
     pub fn push(&self, task: Task, from_worker: Option<usize>) {
         self.stat_pushed.fetch_add(1, Ordering::Relaxed);
         // Count before publishing: a concurrent pop may take the task the
-        // instant it lands, and its decrement must never underflow.
+        // instant it lands, and its decrement must never underflow. The
+        // lane counter is likewise bumped before the enqueue — and before
+        // any park flag is read — so a worker that registers as a sleeper
+        // and then re-checks the counters can never miss this task.
         self.queued.fetch_add(1, Ordering::SeqCst);
         match task.hint {
             ScheduleHint::Pinned(w) => {
-                self.queues[w % self.queues.len()].pinned.push(task);
+                let w = w % self.queues.len();
+                let q = &self.queues[w];
+                q.private.fetch_add(1, Ordering::SeqCst);
+                q.pinned.push(task);
+                self.notify_worker(w);
             }
             ScheduleHint::Worker(w) => {
                 let w = w % self.queues.len();
                 let q = &self.queues[w];
                 if task.priority == Priority::High {
+                    // Only worker `w` ever drains its high lane.
+                    q.private.fetch_add(1, Ordering::SeqCst);
                     q.high.push(task);
-                } else if q.slot.is_mine() {
-                    // SAFETY: `is_mine` confirmed this thread's claim.
-                    unsafe { q.slot.owned_deque() }.push(task);
+                    self.notify_worker(w);
                 } else {
-                    q.inbox.push(task);
+                    let shared = self.local_is_shared();
+                    if shared {
+                        self.shared.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        q.private.fetch_add(1, Ordering::SeqCst);
+                    }
+                    if q.slot.is_mine() {
+                        // SAFETY: `is_mine` confirmed this thread's claim.
+                        unsafe { q.slot.owned_deque() }.push(task);
+                    } else {
+                        q.inbox.push(task);
+                    }
+                    if shared {
+                        self.notify_shared();
+                    } else {
+                        self.notify_worker(w);
+                    }
                 }
             }
             ScheduleHint::None => match (task.priority, from_worker) {
-                (Priority::High, _) => self.injector_high.push(task),
+                (Priority::High, _) => {
+                    self.shared.fetch_add(1, Ordering::SeqCst);
+                    self.injector_high.push(task);
+                    self.notify_shared();
+                }
                 (_, Some(w)) => {
                     let q = &self.queues[w];
+                    let shared = self.local_is_shared();
+                    if shared {
+                        self.shared.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        q.private.fetch_add(1, Ordering::SeqCst);
+                    }
                     if q.slot.claim() {
                         // SAFETY: `claim` just succeeded on this thread.
                         unsafe { q.slot.owned_deque() }.push(task);
@@ -297,11 +371,19 @@ impl Scheduler {
                         // to the stealable inbox rather than corrupting it.
                         q.inbox.push(task);
                     }
+                    if shared {
+                        self.notify_shared();
+                    } else {
+                        self.notify_worker(w);
+                    }
                 }
-                (_, None) => self.injector.push(task),
+                (_, None) => {
+                    self.shared.fetch_add(1, Ordering::SeqCst);
+                    self.injector.push(task);
+                    self.notify_shared();
+                }
             },
         }
-        self.notify_push();
     }
 
     /// Dequeue work for `worker`, in priority order: pinned, local high,
@@ -319,42 +401,73 @@ impl Scheduler {
     fn pop_inner(&self, worker: usize) -> Option<Task> {
         let q = &self.queues[worker];
         if let Some(t) = q.pinned.pop() {
+            q.private.fetch_sub(1, Ordering::SeqCst);
             return Some(t);
         }
         if let Some(t) = q.high.pop() {
+            q.private.fetch_sub(1, Ordering::SeqCst);
             return Some(t);
         }
         if let Some(t) = steal_one(|| self.injector_high.steal()) {
+            self.shared.fetch_sub(1, Ordering::SeqCst);
             return Some(t);
         }
+        // Deque/inbox contents count as shared while stealing is enabled,
+        // private to this worker under the static policy.
+        let local_lane = if self.local_is_shared() { &self.shared } else { &q.private };
         if q.slot.claim() {
             // Owner path: LIFO deque, then drain inbox and global injector
             // in batches so one synchronized operation feeds many pops.
             // SAFETY: `claim` succeeded on this thread.
             let deque = unsafe { q.slot.owned_deque() };
             if let Some(t) = deque.pop() {
+                local_lane.fetch_sub(1, Ordering::SeqCst);
                 return Some(t);
             }
+            // Inbox and deque share a lane class, so a batch move between
+            // them leaves the counters untouched.
             if let Some(t) = steal_one(|| q.inbox.steal_batch_and_pop(deque)) {
+                local_lane.fetch_sub(1, Ordering::SeqCst);
                 return Some(t);
             }
-            if let Some(t) = steal_one(|| self.injector.steal_batch_and_pop(deque)) {
+            let from_injector = if self.local_is_shared() {
+                // Injector tasks stay shared when they land in a stealable
+                // deque, so whole batches can move without re-counting.
+                steal_one(|| self.injector.steal_batch_and_pop(deque))
+            } else {
+                // Static: the deque is private, so batching would silently
+                // reclassify shared tasks. Take exactly one instead.
+                steal_one(|| self.injector.steal())
+            };
+            if let Some(t) = from_injector {
+                self.shared.fetch_sub(1, Ordering::SeqCst);
                 return Some(t);
             }
-            self.steal(worker, Some(deque))
+            let got = self.steal(worker, Some(deque));
+            if got.is_some() {
+                self.shared.fetch_sub(1, Ordering::SeqCst);
+            }
+            got
         } else {
             // Foreign path (another thread popping on this worker's
             // behalf): the deque is reachable only through its stealer.
             if let Some(t) = steal_one(|| q.stealer.steal()) {
+                local_lane.fetch_sub(1, Ordering::SeqCst);
                 return Some(t);
             }
             if let Some(t) = steal_one(|| q.inbox.steal()) {
+                local_lane.fetch_sub(1, Ordering::SeqCst);
                 return Some(t);
             }
             if let Some(t) = steal_one(|| self.injector.steal()) {
+                self.shared.fetch_sub(1, Ordering::SeqCst);
                 return Some(t);
             }
-            self.steal(worker, None)
+            let got = self.steal(worker, None);
+            if got.is_some() {
+                self.shared.fetch_sub(1, Ordering::SeqCst);
+            }
+            got
         }
     }
 
@@ -395,56 +508,100 @@ impl Scheduler {
         self.queued.load(Ordering::SeqCst)
     }
 
-    /// Park the calling worker until work might be available or shutdown
-    /// is signalled. No timeout: the sleeper count plus the push epoch
-    /// make lost wakeups impossible. The Dekker-style pairing is
-    /// `queued++ ; epoch++ ; read sleepers` in the pusher against
-    /// `sleepers++ ; read queued/epoch` here — at least one side always
-    /// sees the other.
-    pub fn wait_for_work(&self) {
-        if self.has_queued() || self.is_shutdown() {
+    /// Whether some queued task is acquirable by `worker` right now (racy;
+    /// this is the park predicate, deliberately per-worker: a task pinned
+    /// elsewhere must not keep this worker spinning awake).
+    fn runnable_by(&self, worker: usize) -> bool {
+        self.shared.load(Ordering::SeqCst) > 0
+            || self.queues[worker].private.load(Ordering::SeqCst) > 0
+    }
+
+    /// Park the calling worker until work *it can acquire* might be
+    /// available or shutdown is signalled. No timeout: the Dekker-style
+    /// pairing is `count++ ; read park flag` in the pusher against
+    /// `set park flag ; read counts` here — at least one side always sees
+    /// the other — and the slot epoch (bumped under the slot lock by every
+    /// waker) closes the window between the re-check and the condvar wait.
+    pub fn wait_for_work(&self, worker: usize) {
+        if self.runnable_by(worker) || self.is_shutdown() {
             return;
         }
-        let epoch0 = self.sleep.epoch.load(Ordering::SeqCst);
-        self.sleep.sleepers.fetch_add(1, Ordering::SeqCst);
-        if !self.has_queued() && !self.is_shutdown() {
-            let mut guard = self.sleep.lock.lock();
-            // Final validation under the lock: a pusher that bumped the
-            // epoch after our read either notifies while we wait (it
-            // takes this lock to notify) or is visible here.
-            if self.sleep.epoch.load(Ordering::SeqCst) == epoch0
-                && !self.has_queued()
+        let slot = &self.queues[worker].park;
+        let epoch0 = slot.epoch.load(Ordering::SeqCst);
+        slot.parked.store(true, Ordering::SeqCst);
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        if self.runnable_by(worker) || self.is_shutdown() {
+            // Aborting the park: withdraw the advertisement. A waker that
+            // already claimed the flag just spends a spurious notify.
+            slot.parked.store(false, Ordering::SeqCst);
+        } else {
+            let mut guard = slot.lock.lock();
+            if slot.epoch.load(Ordering::SeqCst) == epoch0
+                && !self.runnable_by(worker)
                 && !self.is_shutdown()
             {
                 self.stat_parks.fetch_add(1, Ordering::Relaxed);
-                self.sleep.cond.wait(&mut guard);
+                slot.cond.wait(&mut guard);
+            }
+            drop(guard);
+            slot.parked.store(false, Ordering::SeqCst);
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Bump a slot's epoch and notify it (the waker side of the
+    /// eventcount). Callers must have claimed the slot's park flag, or be
+    /// waking unconditionally (shutdown).
+    fn wake_slot(&self, slot: &ParkSlot) {
+        let _guard = slot.lock.lock();
+        slot.epoch.fetch_add(1, Ordering::SeqCst);
+        self.stat_wakes.fetch_add(1, Ordering::Relaxed);
+        slot.cond.notify_one();
+    }
+
+    /// Wake worker `w` if it advertised itself as parked. Used after
+    /// enqueuing work only `w` can acquire — an arbitrary-worker wake
+    /// could go to a worker that can never pop the task, leaving `w`
+    /// parked forever on its timeout-less condvar.
+    fn notify_worker(&self, w: usize) {
+        let slot = &self.queues[w].park;
+        if slot.parked.swap(false, Ordering::SeqCst) {
+            self.wake_slot(slot);
+        }
+    }
+
+    /// Wake some parked worker, if any, after enqueuing work anyone can
+    /// acquire. The sleeper count makes the common all-busy case a single
+    /// load (no syscall, no scan).
+    fn notify_shared(&self) {
+        if self.sleepers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        for q in &self.queues {
+            if q.park.parked.swap(false, Ordering::SeqCst) {
+                self.wake_slot(&q.park);
+                return;
             }
         }
-        self.sleep.sleepers.fetch_sub(1, Ordering::SeqCst);
+        // Every advertised sleeper was already claimed by another waker or
+        // is aborting its park; each of those re-checks the counters after
+        // our increment, so the new task cannot be lost.
     }
 
-    /// Post-push notification: bump the epoch (so racing sleepers abort
-    /// their park) and only pay for a notify syscall when someone is
-    /// actually parked.
-    fn notify_push(&self) {
-        self.sleep.epoch.fetch_add(1, Ordering::SeqCst);
-        if self.sleep.sleepers.load(Ordering::SeqCst) > 0 {
-            self.wake_one();
-        }
-    }
-
-    /// Wake one parked worker.
+    /// Wake one parked worker, if any.
     pub fn wake_one(&self) {
-        let _guard = self.sleep.lock.lock();
-        self.stat_wakes.fetch_add(1, Ordering::Relaxed);
-        self.sleep.cond.notify_one();
+        self.notify_shared();
     }
 
     /// Wake all parked workers.
     pub fn wake_all(&self) {
-        let _guard = self.sleep.lock.lock();
         self.stat_wakes.fetch_add(1, Ordering::Relaxed);
-        self.sleep.cond.notify_all();
+        for q in &self.queues {
+            q.park.parked.store(false, Ordering::SeqCst);
+            let _guard = q.park.lock.lock();
+            q.park.epoch.fetch_add(1, Ordering::SeqCst);
+            q.park.cond.notify_all();
+        }
     }
 
     /// Signal shutdown: workers drain and exit.
@@ -556,7 +713,7 @@ mod tests {
         s.signal_shutdown();
         assert!(s.is_shutdown());
         // wait_for_work returns immediately after shutdown.
-        s.wait_for_work();
+        s.wait_for_work(0);
     }
 
     #[test]
@@ -728,9 +885,9 @@ mod tests {
         use std::sync::Arc;
         let s = Arc::new(Scheduler::new(1, SchedulerPolicy::LocalPriority));
         let s2 = s.clone();
-        let sleeper = std::thread::spawn(move || s2.wait_for_work());
-        // stat_parks is bumped under the sleep lock immediately before the
-        // wait, and wake_one takes the same lock, so once we observe the
+        let sleeper = std::thread::spawn(move || s2.wait_for_work(0));
+        // stat_parks is bumped under the slot lock immediately before the
+        // wait, and the waker takes the same lock, so once we observe the
         // park the notify cannot be lost.
         while s.stat_parks.load(Ordering::Relaxed) == 0 {
             std::thread::yield_now();
@@ -748,8 +905,93 @@ mod tests {
         // wait_for_work must return without blocking (queued is visible).
         let s = Scheduler::new(1, SchedulerPolicy::LocalPriority);
         s.push(task(), None);
-        s.wait_for_work(); // has_queued() -> immediate return
+        s.wait_for_work(0); // runnable shared work -> immediate return
         assert_eq!(s.stat_parks.load(Ordering::Relaxed), 0);
+    }
+
+    /// Two workers park; a task only worker 1 may acquire is pushed. The
+    /// wake must go to worker 1 — an arbitrary `notify_one` could wake
+    /// worker 0, which can never pop the task, stranding it forever.
+    fn targeted_wake_case(policy: SchedulerPolicy, build: impl FnOnce(Task) -> Task) {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let s = Arc::new(Scheduler::new(2, policy));
+        let ran = Arc::new(AtomicBool::new(false));
+        let w1 = {
+            let s = s.clone();
+            std::thread::spawn(move || loop {
+                if let Some(t) = s.pop(1) {
+                    t.run();
+                    return;
+                }
+                if s.is_shutdown() {
+                    return;
+                }
+                s.wait_for_work(1);
+            })
+        };
+        let w0 = {
+            let s = s.clone();
+            std::thread::spawn(move || loop {
+                if s.is_shutdown() {
+                    return;
+                }
+                s.wait_for_work(0);
+            })
+        };
+        while s.stat_parks.load(Ordering::Relaxed) < 2 {
+            std::thread::yield_now();
+        }
+        let r2 = ran.clone();
+        s.push(build(Task::new(move || r2.store(true, Ordering::SeqCst))), None);
+        // Hangs here (worker 1 never woken) if the wake goes astray.
+        w1.join().unwrap();
+        assert!(ran.load(Ordering::SeqCst), "worker 1 ran its task");
+        s.signal_shutdown();
+        w0.join().unwrap();
+    }
+
+    #[test]
+    fn pinned_push_wakes_the_pinned_worker() {
+        targeted_wake_case(SchedulerPolicy::LocalPriority, |t| {
+            t.with_hint(crate::task::ScheduleHint::Pinned(1))
+        });
+    }
+
+    #[test]
+    fn hinted_high_priority_push_wakes_the_hinted_worker() {
+        // Worker(w) + High lands in w's high lane, which is never stolen.
+        targeted_wake_case(SchedulerPolicy::LocalPriority, |t| {
+            t.with_hint(crate::task::ScheduleHint::Worker(1)).with_priority(Priority::High)
+        });
+    }
+
+    #[test]
+    fn static_hinted_push_wakes_the_hinted_worker() {
+        // Under Static nothing is ever stolen, so any hinted task is
+        // acquirable only by its target.
+        targeted_wake_case(SchedulerPolicy::Static, |t| {
+            t.with_hint(crate::task::ScheduleHint::Worker(1))
+        });
+    }
+
+    #[test]
+    fn worker_parks_despite_unacquirable_pinned_work() {
+        use std::sync::Arc;
+        // A task pinned to worker 1 sits queued; worker 0 must still park
+        // rather than hot-spin on the global queued count (it can never
+        // acquire the task).
+        let s = Arc::new(Scheduler::new(2, SchedulerPolicy::LocalPriority));
+        s.push(task().with_hint(crate::task::ScheduleHint::Pinned(1)), None);
+        let s2 = s.clone();
+        let w0 = std::thread::spawn(move || s2.wait_for_work(0));
+        while s.stat_parks.load(Ordering::Relaxed) == 0 {
+            std::thread::yield_now();
+        }
+        assert!(s.has_queued(), "parked with the unacquirable task still queued");
+        s.signal_shutdown();
+        w0.join().unwrap();
+        assert!(s.pop(1).is_some(), "pinned task still acquirable by worker 1");
     }
 
     #[test]

@@ -293,9 +293,19 @@ impl<T> Stealer<T> {
 
     /// Steal up to half the victim's elements (capped at a small batch
     /// size), push all but the first into `dest`, and return the first.
-    /// One successful CAS on the victim amortizes over the whole batch.
+    ///
+    /// Elements are claimed one `compare_exchange` on `top` at a time,
+    /// aborting the batch at the first interference. A single bulk CAS
+    /// over a speculatively-read range would be unsound: the owner
+    /// removes non-last elements by moving `bottom` alone (it only
+    /// touches `top` for the final element), so a bulk CAS on `top` can
+    /// succeed even after the owner popped — or pushed over — slots the
+    /// thief already read, running the same task twice and leaving
+    /// `top > bottom`. Upstream crossbeam-deque steals LIFO batches
+    /// element-wise for the same reason; the batch still amortizes the
+    /// victim-selection walk and fence traffic over many tasks.
     pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
-        let t = self.inner.top.load(Ordering::Acquire);
+        let mut t = self.inner.top.load(Ordering::Acquire);
         fence(Ordering::SeqCst);
         let b = self.inner.bottom.load(Ordering::Acquire);
         let n = b - t;
@@ -304,28 +314,40 @@ impl<T> Stealer<T> {
         }
         let take = ((n + 1) / 2).min(MAX_BATCH);
         let buf = self.inner.buffer.load(Ordering::Acquire);
-        let mut batch = Vec::with_capacity(take as usize);
-        unsafe {
-            for i in t..t + take {
-                batch.push((*buf).read(i));
-            }
-        }
+        let first = unsafe { (*buf).read(t) };
         if self
             .inner
             .top
-            .compare_exchange(t, t + take, Ordering::SeqCst, Ordering::Relaxed)
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
             .is_err()
         {
-            // Lost the race; nothing in `batch` is ours to drop.
-            for v in batch {
-                std::mem::forget(v);
-            }
+            // Lost the race: the value belongs to whoever advanced top.
+            std::mem::forget(first);
             return Steal::Retry;
         }
-        let mut it = batch.into_iter();
-        let first = it.next().expect("take >= 1");
-        for v in it {
+        t += 1;
+        for _ in 1..take {
+            // Re-validate against `bottom` (the owner may have popped
+            // down into the planned range) and reload the buffer (the
+            // owner may have grown it) before each claim.
+            fence(Ordering::SeqCst);
+            let b = self.inner.bottom.load(Ordering::Acquire);
+            if t >= b {
+                break;
+            }
+            let buf = self.inner.buffer.load(Ordering::Acquire);
+            let v = unsafe { (*buf).read(t) };
+            if self
+                .inner
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                std::mem::forget(v);
+                break;
+            }
             dest.push(v);
+            t += 1;
         }
         Steal::Success(first)
     }
@@ -487,24 +509,36 @@ mod tests {
 
     #[test]
     fn concurrent_steal_conserves_elements() {
+        use std::sync::atomic::AtomicBool;
         use std::sync::Arc;
         const N: usize = 100_000;
         let w = Worker::new_lifo();
+        // Per-element delivery flags: batch stealing racing an owner that
+        // pops down into the thief's planned range must never hand the
+        // same element out twice (the owner removes non-last elements by
+        // moving `bottom` alone, invisible to a bulk CAS on `top`).
+        let seen: Arc<Vec<AtomicBool>> =
+            Arc::new((0..N).map(|_| AtomicBool::new(false)).collect());
         let taken = Arc::new(AtomicUsize::new(0));
         let done = Arc::new(AtomicUsize::new(0));
         let thieves: Vec<_> = (0..4)
             .map(|_| {
                 let s = w.stealer();
+                let seen = seen.clone();
                 let taken = taken.clone();
                 let done = done.clone();
                 std::thread::spawn(move || {
                     let local = Worker::new_lifo();
+                    let claim = |i: usize| {
+                        assert!(!seen[i].swap(true, Ordering::Relaxed), "element {i} delivered twice");
+                        taken.fetch_add(1, Ordering::Relaxed);
+                    };
                     loop {
                         match s.steal_batch_and_pop(&local) {
-                            Steal::Success(_) => {
-                                taken.fetch_add(1, Ordering::Relaxed);
-                                while local.pop().is_some() {
-                                    taken.fetch_add(1, Ordering::Relaxed);
+                            Steal::Success(i) => {
+                                claim(i);
+                                while let Some(i) = local.pop() {
+                                    claim(i);
                                 }
                             }
                             Steal::Empty => {
@@ -522,11 +556,15 @@ mod tests {
         let mut popped = 0;
         for i in 0..N {
             w.push(i);
-            if i % 3 == 0 && w.pop().is_some() {
-                popped += 1;
+            if i % 3 == 0 {
+                if let Some(j) = w.pop() {
+                    assert!(!seen[j].swap(true, Ordering::Relaxed), "element {j} delivered twice");
+                    popped += 1;
+                }
             }
         }
-        while w.pop().is_some() {
+        while let Some(j) = w.pop() {
+            assert!(!seen[j].swap(true, Ordering::Relaxed), "element {j} delivered twice");
             popped += 1;
         }
         done.store(1, Ordering::Release);
