@@ -1,0 +1,128 @@
+//! Tracing-overhead benchmark for the introspection layer.
+//!
+//! Measures three things, each the cost the observability PR is allowed
+//! to charge the runtime:
+//!
+//!   * spawn-drain ns/task with the tracer disabled (the default) — must
+//!     stay within noise of the pre-introspection runtime, because the
+//!     only hot-path addition is one relaxed atomic load per event site.
+//!   * spawn-drain ns/task with the tracer enabled — the documented
+//!     tracing-on budget (one `Instant::now` pair + a mutex push per
+//!     task).
+//!   * raw per-record costs: the disabled check, an enabled instant, an
+//!     enabled span.
+//!
+//! Results are printed and written to `BENCH_trace.json` at the workspace
+//! root (consumed by CI). Set `TRACE_BENCH_SMOKE=1` for a seconds-long
+//! run that only proves the harness works.
+
+use parallex::introspect::{EventKind, Tracer};
+use parallex::prelude::*;
+use std::time::{Duration, Instant};
+
+fn time_median<F: FnMut() -> Duration>(reps: usize, mut f: F) -> Duration {
+    let _ = f(); // warmup
+    let mut samples: Vec<Duration> = (0..reps).map(|_| f()).collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::var("TRACE_BENCH_SMOKE").is_ok();
+    let tasks: usize = if smoke { 2_000 } else { 200_000 };
+    let reps = if smoke { 3 } else { 7 };
+    let raw_iters: usize = if smoke { 10_000 } else { 2_000_000 };
+    let workers = 4;
+
+    // ---- spawn-drain, tracer disabled (the default state) -------------
+    let rt = Runtime::builder().worker_threads(workers).build();
+    let off = time_median(reps, || {
+        let t = Instant::now();
+        for _ in 0..tasks {
+            rt.spawn(|| {});
+        }
+        rt.wait_idle();
+        t.elapsed()
+    });
+    rt.shutdown();
+
+    // ---- spawn-drain, tracer enabled ----------------------------------
+    // Capacity sized so no event is dropped: a drop is cheaper than a
+    // record, and we want the worst-case per-task cost.
+    let rt = Runtime::builder()
+        .worker_threads(workers)
+        .trace_capacity((2 * tasks).next_power_of_two())
+        .build();
+    let on = time_median(reps, || {
+        rt.tracer().start(); // clears buffers from the previous rep
+        let t = Instant::now();
+        for _ in 0..tasks {
+            rt.spawn(|| {});
+        }
+        rt.wait_idle();
+        t.elapsed()
+    });
+    let trace = rt.tracer().stop();
+    assert_eq!(trace.dropped, 0, "capacity must cover the run");
+    assert!(trace.of_kind(EventKind::TaskRun).count() >= tasks);
+    rt.shutdown();
+
+    let off_ns = off.as_secs_f64() * 1e9 / tasks as f64;
+    let on_ns = on.as_secs_f64() * 1e9 / tasks as f64;
+
+    // ---- raw per-record costs ------------------------------------------
+    // Disabled: the only cost any event site pays by default.
+    let idle = Tracer::new(1);
+    let d = time_median(reps, || {
+        let t = Instant::now();
+        for _ in 0..raw_iters {
+            idle.instant(0, EventKind::Steal, 0);
+        }
+        t.elapsed()
+    });
+    let disabled_ns = d.as_secs_f64() * 1e9 / raw_iters as f64;
+    assert!(idle.stop().events.is_empty());
+
+    let live = Tracer::with_capacity(1, raw_iters + 1);
+    let d = time_median(reps, || {
+        live.start();
+        let t = Instant::now();
+        for _ in 0..raw_iters {
+            live.instant(0, EventKind::Steal, 0);
+        }
+        t.elapsed()
+    });
+    let instant_ns = d.as_secs_f64() * 1e9 / raw_iters as f64;
+
+    let (s, e) = (Instant::now(), Instant::now());
+    let d = time_median(reps, || {
+        live.start();
+        let t = Instant::now();
+        for _ in 0..raw_iters {
+            live.span(0, EventKind::TaskRun, s, e, 0);
+        }
+        t.elapsed()
+    });
+    let span_ns = d.as_secs_f64() * 1e9 / raw_iters as f64;
+
+    // ---- report ---------------------------------------------------------
+    println!("tracing overhead ({} tasks, {workers} workers{}):", tasks, if smoke { ", SMOKE" } else { "" });
+    println!("  spawn-drain tracer off: {off_ns:>8.1} ns/task");
+    println!("  spawn-drain tracer on:  {on_ns:>8.1} ns/task  (delta {:+.1} ns/task)", on_ns - off_ns);
+    println!("  raw disabled check:     {disabled_ns:>8.2} ns");
+    println!("  raw instant record:     {instant_ns:>8.2} ns");
+    println!("  raw span record:        {span_ns:>8.2} ns");
+
+    let json = format!(
+        "{{\n  \"bench\": \"trace_overhead\",\n  \"smoke\": {smoke},\n  \
+         \"spawn_drain\": {{\"tasks\": {tasks}, \"workers\": {workers}, \
+         \"off_ns_per_task\": {off_ns:.2}, \"on_ns_per_task\": {on_ns:.2}, \
+         \"delta_ns_per_task\": {:.2}}},\n  \
+         \"raw\": {{\"disabled_check_ns\": {disabled_ns:.3}, \
+         \"instant_ns\": {instant_ns:.3}, \"span_ns\": {span_ns:.3}}}\n}}\n",
+        on_ns - off_ns,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+    std::fs::write(out, &json).expect("write BENCH_trace.json");
+    println!("wrote {out}");
+}

@@ -9,6 +9,12 @@
 //! Subcommands: `table1`, `fig2`, `fig3`, `fig4`, `fig5`, `fig6`, `fig7`,
 //! `fig8`, `table3`, `table4`, `table5`, `table6`, `all`. Add `--csv` to
 //! emit figures as CSV instead of aligned text.
+//!
+//! `repro trace` is separate from `all`: it runs a 2-locality heat1d
+//! solve over a simulated fabric with tracing on and writes a
+//! Perfetto-loadable `trace.json` (plus `trace_sim.json` from the
+//! discrete-event scheduler simulator over the same stencil plan, and a
+//! counter dump rendering both through the shared path schema).
 
 use parallex_bench::figures;
 use parallex_bench::report::{render_csv, render_figure, Series};
@@ -125,6 +131,7 @@ fn run(cmd: &str, sink: &Sink) -> bool {
             }
             sink.emit_table("sensitivity", t.render());
         }
+        "trace" => trace_experiment(sink),
         "all" => {
             for c in [
                 "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table3",
@@ -136,6 +143,75 @@ fn run(cmd: &str, sink: &Sink) -> bool {
         _ => return false,
     }
     true
+}
+
+/// The observability demo: trace a distributed heat1d solve and the DES
+/// model of the same plan, emitting Chrome-trace JSON and counter dumps
+/// through the shared introspection schema.
+fn trace_experiment(sink: &Sink) {
+    use parallex::introspect::{
+        chrome_trace_json, render_counters, CounterPath, CounterSampler, Instance,
+    };
+    use parallex::locality::Cluster;
+    use parallex_machine::cluster::ClusterSpec;
+    use parallex_machine::spec::ProcessorId;
+    use parallex_netsim::parcel_delay_fn;
+    use parallex_perfsim::des::{simulate_traced, DesConfig, SimTask};
+    use parallex_stencil::heat1d::{install, Heat1dParams, Heat1dSolver};
+    use parallex_stencil::plan::StencilPlan;
+    use std::time::Duration;
+
+    // ---- native: 2-locality heat1d over a modeled fabric ---------------
+    let localities = 2;
+    let workers = 2;
+    let n = 1 << 16; // 32 Ki points per locality: interior takes the parallel path
+    let steps = 60;
+
+    let cluster = Cluster::new(localities, workers);
+    install(&cluster);
+    let net = ClusterSpec::for_processor(ProcessorId::XeonE5_2660v3).network;
+    cluster.set_network_delay(parcel_delay_fn(net, 0.01));
+
+    let params = Heat1dParams::new(n, steps, 0.25);
+    let solver = Heat1dSolver::new(&cluster, params);
+
+    let registry = cluster.locality(0).runtime().counter_registry().clone();
+    let sampler = CounterSampler::start(registry, Duration::from_millis(1));
+    let before = cluster.counter_snapshot();
+    cluster.start_trace();
+    let _ = solver.run(move |i| if i < n / 2 { 100.0 } else { 0.0 });
+    let traces = cluster.stop_trace();
+    let after = cluster.counter_snapshot();
+    let series = sampler.stop();
+    sink.emit_ext("trace", "json", chrome_trace_json(&traces));
+
+    let mut text = String::from("== native: 2-locality heat1d, cluster-wide delta ==\n");
+    text.push_str(&render_counters(&after.delta(&before)));
+    let cumulative = CounterPath::new("threads", 0, Instance::Total, "count/cumulative");
+    let rates = series.rates(&cumulative);
+    text.push_str(&format!(
+        "\nsampler on locality#0: {} snapshots; {cumulative} peaked at {:.0} tasks/s\n",
+        series.len(),
+        rates.iter().map(|&(_, r)| r).fold(0.0, f64::max),
+    ));
+    cluster.shutdown();
+
+    // ---- simulated: the DES over the same stencil plan -----------------
+    // 1D row of cells modeled as ny rows of width 1 (plan chunks along ny).
+    let plan = StencilPlan::new(1, n / localities, 4 * workers);
+    let ns_per_lup = 2.0;
+    let tasks: Vec<SimTask> = (0..plan.chunks())
+        .map(|i| SimTask { duration_ns: plan.chunk_lups(i) as f64 * ns_per_lup, pinned: None })
+        .collect();
+    let cfg = DesConfig { cores: workers, ..Default::default() };
+    let (result, sim_trace) = simulate_traced(&cfg, &tasks);
+    sink.emit_ext("trace_sim", "json", chrome_trace_json(&[(0, sim_trace)]));
+    text.push_str(&format!(
+        "\n== simulated: DES, one step of the same plan on one locality ==\n{}",
+        render_counters(&result.as_snapshot(0)),
+    ));
+    sink.emit_table("trace_counters", text);
+    eprintln!("load trace.json / trace_sim.json at https://ui.perfetto.dev");
 }
 
 fn main() {
@@ -166,7 +242,7 @@ fn main() {
         .collect();
     if cmds.is_empty() {
         eprintln!(
-            "usage: repro [--csv] [--out DIR] <table1|fig2..fig8|table3..table6|compare|sensitivity|all> [more…]"
+            "usage: repro [--csv] [--out DIR] <table1|fig2..fig8|table3..table6|compare|sensitivity|trace|all> [more…]"
         );
         std::process::exit(2);
     }

@@ -1,0 +1,303 @@
+//! Exporters: Chrome trace-event JSON and a plain-text counter dump.
+//!
+//! [`chrome_trace_json`] emits the [Trace Event Format] consumed by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): spans as
+//! `ph:"X"` complete events (`ts`/`dur` in microseconds), instants as
+//! `ph:"i"` thread-scoped events, plus `ph:"M"` metadata naming each
+//! locality (pid) and worker (tid). Traces from several localities are
+//! aligned onto one timeline using each trace's monotonic epoch, so
+//! halo-parcel arrivals on locality 1 line up against compute spans on
+//! locality 0.
+//!
+//! JSON is written by hand — the workspace deliberately carries no JSON
+//! dependency — and pinned by a golden-file test.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::time::Instant;
+
+use super::counters::CounterSnapshot;
+use super::events::Trace;
+
+/// Render traces (one per locality, keyed by pid) as Chrome trace-event
+/// JSON. Lane `lanes-1` of each trace is labelled `external`; the rest
+/// are `worker#N`.
+pub fn chrome_trace_json(traces: &[(u32, Trace)]) -> String {
+    let min_epoch: Option<Instant> = traces.iter().map(|(_, t)| t.epoch).min();
+    let mut lines: Vec<String> = Vec::new();
+    for (pid, trace) in traces {
+        lines.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"locality#{pid}\"}}}}"
+        ));
+        for lane in 0..trace.lanes {
+            let lname = if lane == trace.lanes - 1 {
+                "external".to_string()
+            } else {
+                format!("worker#{lane}")
+            };
+            lines.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{lane},\
+                 \"args\":{{\"name\":\"{lname}\"}}}}"
+            ));
+        }
+        let offset_us = min_epoch
+            .map(|e| trace.epoch.saturating_duration_since(e).as_secs_f64() * 1e6)
+            .unwrap_or(0.0);
+        for ev in &trace.events {
+            let ts = ev.t_us + offset_us;
+            let name = escape_json(ev.kind.name());
+            let cat = ev.kind.category();
+            let (lane, arg) = (ev.lane, ev.arg);
+            match ev.dur_us {
+                Some(dur) => lines.push(format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{ts:.3},\
+                     \"dur\":{dur:.3},\"pid\":{pid},\"tid\":{lane},\"args\":{{\"arg\":{arg}}}}}"
+                )),
+                None => lines.push(format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"ts\":{ts:.3},\
+                     \"s\":\"t\",\"pid\":{pid},\"tid\":{lane},\"args\":{{\"arg\":{arg}}}}}"
+                )),
+            }
+        }
+    }
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Render a counter snapshot as an aligned plain-text table, one
+/// counter per line, sorted by path.
+pub fn render_counters(snap: &CounterSnapshot) -> String {
+    let width = snap
+        .iter()
+        .map(|(p, _)| p.to_string().len())
+        .max()
+        .unwrap_or(0);
+    let mut out = format!("counters @ t={:.1} us ({} counters)\n", snap.t_us, snap.len());
+    for (p, v) in snap.iter() {
+        let path = p.to_string();
+        out.push_str(&format!("  {path:<width$}  {v}\n"));
+    }
+    out
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::introspect::counters::{CounterPath, Instance};
+    use crate::introspect::events::{EventKind, TraceEvent};
+
+    /// Minimal JSON syntax checker (the workspace has no JSON crate):
+    /// validates the full grammar shape we emit — objects, arrays,
+    /// strings with escapes, numbers, booleans, null.
+    fn assert_valid_json(s: &str) {
+        let bytes = s.as_bytes();
+        let end = parse_value(bytes, skip_ws(bytes, 0));
+        let end = skip_ws(bytes, end);
+        assert_eq!(end, bytes.len(), "trailing garbage after JSON value");
+    }
+
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
+            i += 1;
+        }
+        i
+    }
+
+    fn parse_value(b: &[u8], i: usize) -> usize {
+        assert!(i < b.len(), "unexpected end of JSON");
+        match b[i] {
+            b'{' => parse_seq(b, i, b'}', true),
+            b'[' => parse_seq(b, i, b']', false),
+            b'"' => parse_string(b, i),
+            b't' => expect(b, i, b"true"),
+            b'f' => expect(b, i, b"false"),
+            b'n' => expect(b, i, b"null"),
+            b'-' | b'0'..=b'9' => parse_number(b, i),
+            c => panic!("unexpected byte {:?} at {i}", c as char),
+        }
+    }
+
+    fn parse_seq(b: &[u8], mut i: usize, close: u8, keyed: bool) -> usize {
+        i = skip_ws(b, i + 1);
+        if b[i] == close {
+            return i + 1;
+        }
+        loop {
+            if keyed {
+                i = parse_string(b, i);
+                i = skip_ws(b, i);
+                assert_eq!(b[i], b':', "expected ':' at {i}");
+                i = skip_ws(b, i + 1);
+            }
+            i = skip_ws(b, parse_value(b, i));
+            match b[i] {
+                b',' => i = skip_ws(b, i + 1),
+                c if c == close => return i + 1,
+                c => panic!("expected ',' or close, got {:?} at {i}", c as char),
+            }
+        }
+    }
+
+    fn parse_string(b: &[u8], i: usize) -> usize {
+        assert_eq!(b[i], b'"', "expected string at {i}");
+        let mut i = i + 1;
+        while b[i] != b'"' {
+            if b[i] == b'\\' {
+                i += 1;
+            }
+            i += 1;
+        }
+        i + 1
+    }
+
+    fn parse_number(b: &[u8], mut i: usize) -> usize {
+        if b[i] == b'-' {
+            i += 1;
+        }
+        let start = i;
+        while i < b.len() && matches!(b[i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+            i += 1;
+        }
+        assert!(i > start, "empty number at {start}");
+        i
+    }
+
+    fn expect(b: &[u8], i: usize, word: &[u8]) -> usize {
+        assert_eq!(&b[i..i + word.len()], word);
+        i + word.len()
+    }
+
+    fn golden_trace() -> Trace {
+        let ev = |lane, kind, t_us, dur_us, arg| TraceEvent {
+            lane,
+            kind,
+            t_us,
+            dur_us,
+            arg,
+        };
+        Trace::from_parts(
+            3,
+            vec![
+                ev(0, EventKind::TaskRun, 100.0, Some(50.5), 7),
+                ev(1, EventKind::Steal, 110.25, None, 0),
+                ev(2, EventKind::ParcelSend, 112.5, None, 18497),
+                ev(1, EventKind::FutureWait, 115.0, Some(10.0), 0),
+                ev(0, EventKind::HaloExchange, 160.125, Some(2.25), 3),
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn golden_file_pins_schema() {
+        let json = chrome_trace_json(&[(0, golden_trace())]);
+        let golden = include_str!("golden_trace.json");
+        assert_eq!(json, golden, "Chrome-trace schema drifted from golden file");
+    }
+
+    #[test]
+    fn emitted_json_is_valid() {
+        let json = chrome_trace_json(&[(0, golden_trace()), (1, golden_trace())]);
+        assert_valid_json(&json);
+        // every schema field the format requires is present
+        for field in ["\"ph\":\"X\"", "\"ph\":\"i\"", "\"ph\":\"M\"", "\"ts\":", "\"dur\":",
+            "\"pid\":1", "\"tid\":2", "\"name\":\"task-run\"", "\"args\":"]
+        {
+            assert!(json.contains(field), "missing {field} in output");
+        }
+    }
+
+    #[test]
+    fn empty_trace_list_is_valid_json() {
+        let json = chrome_trace_json(&[]);
+        assert_valid_json(&json);
+        assert!(json.contains("\"traceEvents\":["));
+    }
+
+    #[test]
+    fn user_event_names_are_escaped() {
+        let t = Trace::from_parts(
+            1,
+            vec![TraceEvent {
+                lane: 0,
+                kind: EventKind::User("weird\"name\\here"),
+                t_us: 1.0,
+                dur_us: None,
+                arg: 0,
+            }],
+            0,
+        );
+        let json = chrome_trace_json(&[(0, t)]);
+        assert_valid_json(&json);
+        assert!(json.contains("weird\\\"name\\\\here"));
+    }
+
+    #[test]
+    fn golden_trace_is_well_nested() {
+        golden_trace().check_well_nested().unwrap();
+        // and a partial overlap is caught
+        let bad = Trace::from_parts(
+            1,
+            vec![
+                TraceEvent {
+                    lane: 0,
+                    kind: EventKind::TaskRun,
+                    t_us: 0.0,
+                    dur_us: Some(10.0),
+                    arg: 0,
+                },
+                TraceEvent {
+                    lane: 0,
+                    kind: EventKind::TaskRun,
+                    t_us: 5.0,
+                    dur_us: Some(10.0),
+                    arg: 0,
+                },
+            ],
+            0,
+        );
+        assert!(bad.check_well_nested().is_err());
+    }
+
+    #[test]
+    fn counter_dump_is_aligned_and_sorted() {
+        let snap = CounterSnapshot::from_entries(
+            1234.5,
+            vec![
+                (
+                    CounterPath::new("threads", 0, Instance::Total, "count/cumulative"),
+                    42,
+                ),
+                (CounterPath::new("parcels", 0, Instance::Total, "count/sent"), 7),
+            ],
+        );
+        let text = render_counters(&snap);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("t=1234.5 us"));
+        // sorted: parcels before threads
+        assert!(lines[1].contains("/parcels{locality#0/total}/count/sent"));
+        assert!(lines[2].contains("/threads{locality#0/total}/count/cumulative"));
+        assert!(lines[1].trim_end().ends_with('7'));
+    }
+}

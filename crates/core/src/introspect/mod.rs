@@ -1,0 +1,38 @@
+//! APEX-style introspection: counter registry, interval sampling,
+//! structured event tracing and exporters.
+//!
+//! HPX ships a first-class observability stack — performance counters
+//! addressed by hierarchical paths (`/threads{locality#0/worker#3}/count/
+//! stolen`, queried by `hpx::performance_counters`) and APEX task
+//! timelines — and the paper leans on exactly that machinery to explain
+//! its figures and tables. This module is the equivalent for `parallex`:
+//!
+//! * [`CounterPath`] / [`CounterRegistry`] / [`CounterSnapshot`] — named
+//!   counters registered at hierarchical paths with per-locality and
+//!   per-worker instances, snapshotted on demand, diffable with
+//!   [`CounterSnapshot::delta`] for interval rates
+//!   ([`counters`]);
+//! * [`CounterSampler`] — a background thread snapshotting a registry at
+//!   a fixed interval into a [`SampleSeries`] time series;
+//! * [`Tracer`] / [`TraceEvent`] / [`EventKind`] — typed span/instant
+//!   event logs (task run, steal, park/wake, future wait, parcel
+//!   send/recv, halo exchange) recorded into per-worker bounded buffers,
+//!   so tracing a long run cannot OOM and never contends on a global
+//!   lock ([`events`]);
+//! * [`chrome_trace_json`] — Chrome trace-event JSON (loadable in
+//!   `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)): one
+//!   pid per locality, one tid per worker ([`chrome`]).
+//!
+//! The performance simulator (`parallex-perfsim`) emits snapshots and
+//! events through these same types, so a native run and a simulated run
+//! of the same `stencil::plan` are diffable side by side.
+
+pub mod chrome;
+pub mod counters;
+pub mod events;
+
+pub use chrome::{chrome_trace_json, render_counters};
+pub use counters::{
+    CounterPath, CounterRegistry, CounterSampler, CounterSnapshot, Instance, SampleSeries,
+};
+pub use events::{EventKind, Trace, TraceEvent, Tracer};

@@ -46,6 +46,7 @@ pub mod agas;
 pub mod algorithms;
 pub mod error;
 pub mod executors;
+pub mod introspect;
 pub mod lcos;
 pub mod locality;
 pub mod parcel;

@@ -9,6 +9,7 @@
 
 use crate::agas::{AgasService, ComponentStore, Gid, MigrationRegistry};
 use crate::error::{Error, Result};
+use crate::introspect::{CounterSnapshot, EventKind, Trace};
 use crate::lcos::future::{Future, Promise};
 use crate::parcel::{
     serialize, ActionFn, ActionId, ActionRegistry, DelayFn, Parcel, TimerWheel, RESPONSE_ACTION,
@@ -33,6 +34,16 @@ pub struct Locality {
     cluster: RwLock<Weak<ClusterShared>>,
     pending: Mutex<HashMap<u64, Promise<Vec<u8>>>>,
     next_token: AtomicU64,
+}
+
+/// Record a parcel event on the calling thread's lane of `rt`'s tracer
+/// (a no-op unless tracing is on).
+fn trace_parcel(rt: &Runtime, kind: EventKind, action: ActionId) {
+    let tracer = rt.tracer();
+    if tracer.is_enabled() {
+        let lane = rt.current_worker().unwrap_or_else(|| tracer.external_lane());
+        tracer.instant(lane, kind, action as u64);
+    }
 }
 
 impl Locality {
@@ -72,6 +83,7 @@ impl Locality {
             response_token: None,
         };
         self.runtime.counters().parcels_sent.fetch_add(1, Ordering::Relaxed);
+        trace_parcel(&self.runtime, EventKind::ParcelSend, action);
         ClusterShared::send(&shared, parcel);
         Ok(())
     }
@@ -99,6 +111,7 @@ impl Locality {
             response_token: Some(token),
         };
         self.runtime.counters().parcels_sent.fetch_add(1, Ordering::Relaxed);
+        trace_parcel(&self.runtime, EventKind::ParcelSend, action);
         ClusterShared::send(&shared, parcel);
         Ok(future)
     }
@@ -178,28 +191,53 @@ impl ClusterShared {
             .counters()
             .parcels_received
             .fetch_add(1, Ordering::Relaxed);
+        let tracer = dest.runtime.tracer();
+        let recv_start = tracer.is_enabled().then(std::time::Instant::now);
+        let action = parcel.action;
         if parcel.action == RESPONSE_ACTION {
             let token = parcel.response_token.expect("response parcels carry a token");
             let result: std::result::Result<Vec<u8>, String> =
                 serialize::from_bytes(&parcel.payload).unwrap_or_else(|e| Err(e.to_string()));
             dest.complete_response(token, result);
-            return;
+        } else {
+            let outcome: std::result::Result<Vec<u8>, String> =
+                match self.actions.get(parcel.action) {
+                    Ok(handler) => run_handler(&handler, &dest, parcel.dest, &parcel.payload),
+                    Err(e) => Err(e.to_string()),
+                };
+            if let Some(token) = parcel.response_token {
+                let payload =
+                    serialize::to_bytes(&outcome).expect("Result<Vec<u8>,String> serializes");
+                let response = Parcel {
+                    source: parcel.dest_locality,
+                    dest_locality: parcel.source,
+                    dest: parcel.dest,
+                    action: RESPONSE_ACTION,
+                    payload: Bytes::from(payload),
+                    response_token: Some(token),
+                };
+                // Responses are parcels too: count them as sent so
+                // Σsent == Σreceived holds across the cluster.
+                dest.runtime
+                    .counters()
+                    .parcels_sent
+                    .fetch_add(1, Ordering::Relaxed);
+                trace_parcel(&dest.runtime, EventKind::ParcelSend, RESPONSE_ACTION);
+                ClusterShared::send(self, response);
+            }
         }
-        let outcome: std::result::Result<Vec<u8>, String> = match self.actions.get(parcel.action) {
-            Ok(handler) => run_handler(&handler, &dest, parcel.dest, &parcel.payload),
-            Err(e) => Err(e.to_string()),
-        };
-        if let Some(token) = parcel.response_token {
-            let payload = serialize::to_bytes(&outcome).expect("Result<Vec<u8>,String> serializes");
-            let response = Parcel {
-                source: parcel.dest_locality,
-                dest_locality: parcel.source,
-                dest: parcel.dest,
-                action: RESPONSE_ACTION,
-                payload: Bytes::from(payload),
-                response_token: Some(token),
-            };
-            ClusterShared::send(self, response);
+        if let Some(t0) = recv_start {
+            let lane = dest
+                .runtime
+                .current_worker()
+                .unwrap_or_else(|| tracer.external_lane());
+            tracer.span(
+                lane,
+                EventKind::ParcelRecv,
+                t0,
+                std::time::Instant::now(),
+                action as u64,
+            );
         }
     }
 }
@@ -246,6 +284,7 @@ impl Cluster {
                         .worker_threads(threads_each)
                         .scheduler(policy)
                         .thread_name(format!("loc{id}"))
+                        .locality_id(id)
                         .build(),
                     components: ComponentStore::new(),
                     cluster: RwLock::new(Weak::new()),
@@ -449,6 +488,36 @@ impl Cluster {
             loc.runtime.shutdown();
         }
     }
+
+    /// Merge every locality's counter registry into one snapshot (paths
+    /// are disjoint because each locality registers under its own
+    /// `locality#N` instance).
+    pub fn counter_snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot::merge(
+            self.shared
+                .localities
+                .iter()
+                .map(|l| l.runtime.counter_snapshot()),
+        )
+    }
+
+    /// Start structured tracing on every locality's runtime.
+    pub fn start_trace(&self) {
+        for loc in &self.shared.localities {
+            loc.runtime.tracer().start();
+        }
+    }
+
+    /// Stop tracing everywhere and return `(locality id, trace)` pairs,
+    /// ready for [`crate::introspect::chrome_trace_json`] (which aligns
+    /// the per-runtime epochs onto one timeline).
+    pub fn stop_trace(&self) -> Vec<(u32, Trace)> {
+        self.shared
+            .localities
+            .iter()
+            .map(|l| (l.id, l.runtime.tracer().stop()))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -623,6 +692,82 @@ mod tests {
         let c = cluster();
         for i in 0..c.len() {
             assert_eq!(c.agas().resolve(c.system_gid(i)).unwrap(), i as u32);
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn parcel_conservation_on_loopback_cluster() {
+        // Every parcel sent anywhere (requests AND responses) must be
+        // received somewhere: Σsent == Σreceived once the cluster idles.
+        let c = cluster();
+        let gid = c.new_component(1, Mutex::new(0i64));
+        for _ in 0..20 {
+            c.locality(0).apply(gid, ADD_TO, &1i64).unwrap();
+        }
+        let fs: Vec<_> = (0..10)
+            .map(|i| {
+                c.locality(i % 3)
+                    .call::<(), u32>(c.system_gid((i + 1) % 3), WHERE_AM_I, &())
+                    .unwrap()
+            })
+            .collect();
+        for f in fs {
+            f.get();
+        }
+        let _ = c.broadcast::<(), u32>(WHERE_AM_I, &()).unwrap().get();
+        c.wait_idle();
+        let (mut sent, mut received) = (0usize, 0usize);
+        for loc in c.localities() {
+            let snap = loc.runtime().perf_snapshot();
+            sent += snap.parcels_sent;
+            received += snap.parcels_received;
+        }
+        assert!(sent >= 20 + 2 * 10, "sent {sent}");
+        assert_eq!(sent, received, "parcel conservation violated");
+        // the same identity through the hierarchical registry schema
+        let snap = c.counter_snapshot();
+        let sum = |name: &str| -> u64 {
+            snap.iter()
+                .filter(|(p, _)| p.object == "parcels" && p.name == name)
+                .map(|(_, v)| v)
+                .sum()
+        };
+        assert_eq!(sum("count/sent"), sent as u64);
+        assert_eq!(sum("count/received"), received as u64);
+        c.shutdown();
+    }
+
+    #[test]
+    fn cluster_trace_spans_localities() {
+        let c = cluster();
+        c.start_trace();
+        let gid = c.new_component(1, Mutex::new(0i64));
+        for _ in 0..5 {
+            c.locality(0).apply(gid, ADD_TO, &1i64).unwrap();
+        }
+        c.locality(0)
+            .call::<(), u32>(c.system_gid(2), WHERE_AM_I, &())
+            .unwrap()
+            .get();
+        c.wait_idle();
+        let traces = c.stop_trace();
+        assert_eq!(traces.len(), 3);
+        let sends: usize = traces
+            .iter()
+            .map(|(_, t)| t.of_kind(crate::introspect::EventKind::ParcelSend).count())
+            .sum();
+        let recvs: usize = traces
+            .iter()
+            .map(|(_, t)| t.of_kind(crate::introspect::EventKind::ParcelRecv).count())
+            .sum();
+        assert!(sends >= 6, "sends {sends}");
+        assert!(recvs >= 6, "recvs {recvs}");
+        // locality 1 saw the applies arrive as ParcelRecv spans
+        let loc1 = &traces[1].1;
+        assert!(loc1.of_kind(crate::introspect::EventKind::ParcelRecv).count() >= 5);
+        for (_, t) in &traces {
+            t.check_well_nested().unwrap();
         }
         c.shutdown();
     }

@@ -3,9 +3,22 @@
 //! HPX exposes introspection counters under paths like
 //! `/threads/count/cumulative`; this module is the equivalent: cheap
 //! relaxed atomics bumped on the hot paths, snapshotted on demand.
+//!
+//! Once a runtime is idle (`wait_idle`), the counters satisfy two
+//! conservation identities (pinned by tests):
+//! `tasks_spawned == tasks_executed + tasks_panicked`, and — summed over
+//! every locality of a loopback cluster — `parcels_sent ==
+//! parcels_received` (response parcels included).
+//!
+//! The flat [`Snapshot`] is the quick view; the hierarchical,
+//! per-worker view lives in [`crate::introspect`], whose registry this
+//! module populates via `register_runtime_counters`.
 
+use crate::introspect::{CounterPath, CounterRegistry, Instance};
+use crate::runtime::Core;
 use crate::sched::Scheduler;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Monotone event counters for one runtime.
 #[derive(Debug, Default)]
@@ -73,7 +86,88 @@ impl Counters {
     }
 }
 
+/// Per-worker execution stats (one per scheduler worker, owned by the
+/// runtime core), feeding the `/threads{locality#L/worker#W}/...`
+/// counter paths.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerStat {
+    /// Tasks this worker ran to completion (panicked or not).
+    pub(crate) tasks_executed: AtomicUsize,
+    /// Wall time this worker spent inside tasks, nanoseconds.
+    pub(crate) busy_ns: AtomicU64,
+}
+
+/// Populate `registry` with the standard counter set of one runtime:
+/// locality-total counters for every [`Snapshot`] field plus per-worker
+/// cumulative-task and busy-time counters. Probes capture the core and
+/// evaluate a relaxed atomic load at snapshot time.
+pub(crate) fn register_runtime_counters(registry: &CounterRegistry, locality: u32, core: &Arc<Core>) {
+    macro_rules! counter {
+        ($object:expr, $name:expr, $field:ident) => {{
+            let c = core.clone();
+            registry.register(
+                CounterPath::new($object, locality, Instance::Total, $name),
+                move || c.counters.$field.load(Ordering::Relaxed) as u64,
+            );
+        }};
+    }
+    macro_rules! sched_counter {
+        ($name:expr, $field:ident) => {{
+            let c = core.clone();
+            registry.register(
+                CounterPath::new("threads", locality, Instance::Total, $name),
+                move || c.sched.$field.load(Ordering::Relaxed) as u64,
+            );
+        }};
+    }
+    counter!("threads", "count/cumulative", tasks_executed);
+    counter!("threads", "count/spawned", tasks_spawned);
+    counter!("threads", "count/panicked", tasks_panicked);
+    counter!("lcos", "count/continuations", continuations_run);
+    counter!("parcels", "count/sent", parcels_sent);
+    counter!("parcels", "count/received", parcels_received);
+    sched_counter!("count/stolen", stat_stolen);
+    sched_counter!("count/pushes", stat_pushed);
+    sched_counter!("count/steal-attempts", stat_steal_attempts);
+    sched_counter!("count/steal-batches", stat_steal_batches);
+    sched_counter!("count/parks", stat_parks);
+    sched_counter!("count/wakes", stat_wakes);
+    for w in 0..core.worker_stats.len() {
+        let c = core.clone();
+        registry.register(
+            CounterPath::new("threads", locality, Instance::Worker(w), "count/cumulative"),
+            move || c.worker_stats[w].tasks_executed.load(Ordering::Relaxed) as u64,
+        );
+        let c = core.clone();
+        registry.register(
+            CounterPath::new("threads", locality, Instance::Worker(w), "time/busy-ns"),
+            move || c.worker_stats[w].busy_ns.load(Ordering::Relaxed),
+        );
+    }
+}
+
 impl Snapshot {
+    /// Interval delta `self - earlier`, field by field (saturating, so a
+    /// stale `earlier` from before a counter reset can't underflow).
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            tasks_spawned: self.tasks_spawned.saturating_sub(earlier.tasks_spawned),
+            tasks_executed: self.tasks_executed.saturating_sub(earlier.tasks_executed),
+            tasks_panicked: self.tasks_panicked.saturating_sub(earlier.tasks_panicked),
+            continuations_run: self
+                .continuations_run
+                .saturating_sub(earlier.continuations_run),
+            tasks_stolen: self.tasks_stolen.saturating_sub(earlier.tasks_stolen),
+            sched_pushes: self.sched_pushes.saturating_sub(earlier.sched_pushes),
+            steal_attempts: self.steal_attempts.saturating_sub(earlier.steal_attempts),
+            steal_batches: self.steal_batches.saturating_sub(earlier.steal_batches),
+            worker_parks: self.worker_parks.saturating_sub(earlier.worker_parks),
+            worker_wakes: self.worker_wakes.saturating_sub(earlier.worker_wakes),
+            parcels_sent: self.parcels_sent.saturating_sub(earlier.parcels_sent),
+            parcels_received: self.parcels_received.saturating_sub(earlier.parcels_received),
+        }
+    }
+
     /// Render as `(hpx-style path, value)` pairs.
     pub fn as_paths(&self) -> Vec<(&'static str, usize)> {
         vec![
@@ -119,5 +213,84 @@ mod tests {
         assert!(paths.iter().any(|(p, _)| *p == "/threads/count/cumulative"));
         assert!(paths.iter().any(|(p, _)| *p == "/threads/count/parks"));
         assert!(paths.iter().any(|(p, _)| *p == "/threads/count/steal-batches"));
+    }
+
+    #[test]
+    fn snapshot_delta_is_fieldwise_and_saturating() {
+        let c = Counters::default();
+        let s = Scheduler::new(1, SchedulerPolicy::LocalPriority);
+        c.tasks_spawned.fetch_add(5, Ordering::Relaxed);
+        let before = c.snapshot(&s);
+        c.tasks_spawned.fetch_add(7, Ordering::Relaxed);
+        c.parcels_sent.fetch_add(2, Ordering::Relaxed);
+        let after = c.snapshot(&s);
+        let d = after.delta(&before);
+        assert_eq!(d.tasks_spawned, 7);
+        assert_eq!(d.parcels_sent, 2);
+        assert_eq!(d.tasks_executed, 0);
+        // reversed order saturates to zero instead of wrapping
+        let rev = before.delta(&after);
+        assert_eq!(rev.tasks_spawned, 0);
+    }
+
+    #[test]
+    fn task_conservation_after_wait_idle() {
+        // spawned == executed + panicked once the runtime is idle, even
+        // with panicking tasks in the mix.
+        let rt = crate::runtime::Runtime::builder().worker_threads(2).build();
+        let before = rt.perf_snapshot();
+        for i in 0..40 {
+            rt.spawn(move || {
+                if i % 10 == 0 {
+                    panic!("intentional test panic");
+                }
+            });
+        }
+        rt.wait_idle();
+        let d = rt.perf_snapshot().delta(&before);
+        assert_eq!(d.tasks_spawned, 40);
+        assert_eq!(d.tasks_panicked, 4);
+        assert_eq!(
+            d.tasks_spawned,
+            d.tasks_executed + d.tasks_panicked,
+            "conservation: {d:?}"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn registry_mirrors_flat_snapshot() {
+        use crate::introspect::{CounterPath, Instance};
+        let rt = crate::runtime::Runtime::builder().worker_threads(2).build();
+        for _ in 0..25 {
+            rt.spawn(|| {});
+        }
+        rt.wait_idle();
+        let snap = rt.counter_snapshot();
+        let flat = rt.perf_snapshot();
+        let total =
+            |name: &str| snap.get(&CounterPath::new("threads", 0, Instance::Total, name));
+        assert_eq!(total("count/spawned"), Some(flat.tasks_spawned as u64));
+        assert_eq!(total("count/cumulative"), Some(flat.tasks_executed as u64));
+        // per-worker cumulative sums to the locality total
+        let per_worker: u64 = (0..rt.workers())
+            .map(|w| {
+                snap.get(&CounterPath::new(
+                    "threads",
+                    0,
+                    Instance::Worker(w),
+                    "count/cumulative",
+                ))
+                .unwrap()
+            })
+            .sum();
+        assert!(
+            per_worker >= flat.tasks_executed as u64,
+            "worker stats include panicked tasks too: {per_worker} vs {}",
+            flat.tasks_executed
+        );
+        // 12 totals + 2 per worker
+        assert_eq!(snap.len(), 12 + 2 * rt.workers());
+        rt.shutdown();
     }
 }

@@ -9,8 +9,9 @@
 //! busy while user code blocks on LCOs (the "increased asynchrony" the
 //! paper's Section III-A credits for resource utilization).
 
+use crate::introspect::{CounterRegistry, CounterSnapshot, EventKind, Tracer};
 use crate::lcos::future::{Future, Promise};
-use crate::perf::Counters;
+use crate::perf::{Counters, WorkerStat};
 use crate::sched::{Scheduler, SchedulerPolicy};
 use crate::task::{Priority, ScheduleHint, Task};
 use crate::topology::Topology;
@@ -42,7 +43,11 @@ pub(crate) struct Core {
     idle_lock: Mutex<()>,
     idle_cond: Condvar,
     pub(crate) counters: Counters,
-    pub(crate) trace: crate::trace::TaskTrace,
+    /// Per-worker execution stats feeding the per-worker counter paths.
+    pub(crate) worker_stats: Vec<WorkerStat>,
+    /// Structured event recorder shared with the scheduler and the
+    /// legacy `TaskTrace` facade.
+    pub(crate) tracer: Arc<Tracer>,
 }
 
 impl Core {
@@ -53,14 +58,26 @@ impl Core {
     pub(crate) fn run_task(&self, task: Task, worker: usize) {
         let start = std::time::Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| task.run()));
-        self.trace.record(worker, start, std::time::Instant::now());
-        self.counters.tasks_executed.fetch_add(1, Ordering::Relaxed);
+        let end = std::time::Instant::now();
+        self.tracer.span(worker, EventKind::TaskRun, start, end, 0);
+        if let Some(ws) = self.worker_stats.get(worker) {
+            ws.tasks_executed.fetch_add(1, Ordering::Relaxed);
+            ws.busy_ns
+                .fetch_add(end.duration_since(start).as_nanos() as u64, Ordering::Relaxed);
+        }
+        // `tasks_executed` counts successful completions only, so the
+        // conservation identity `spawned == executed + panicked` holds
+        // once the runtime is idle.
+        if result.is_ok() {
+            self.counters.tasks_executed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.tasks_panicked.fetch_add(1, Ordering::Relaxed);
+        }
         if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
             let _g = self.idle_lock.lock();
             self.idle_cond.notify_all();
         }
         if let Err(payload) = result {
-            self.counters.tasks_panicked.fetch_add(1, Ordering::Relaxed);
             let msg = crate::util::panic_message(&*payload);
             eprintln!("parallex: task panicked: {msg}");
         }
@@ -102,7 +119,11 @@ pub(crate) fn help_until(core: Option<&Arc<Core>>, mut done: impl FnMut() -> boo
     if done() {
         return;
     }
+    // Record the blocking wait as a FutureWait span (help-executed tasks
+    // nest inside it). Costs one atomic load when tracing is off.
+    let trace_start = core.and_then(|c| c.tracer.is_enabled().then(std::time::Instant::now));
     let ctx = core.and_then(current_worker_on);
+    let lane = ctx.as_ref().map(|c| c.index);
     match ctx {
         Some(ctx) => {
             let mut spins = 0u32;
@@ -132,6 +153,11 @@ pub(crate) fn help_until(core: Option<&Arc<Core>>, mut done: impl FnMut() -> boo
             }
         }
     }
+    if let (Some(core), Some(t0)) = (core, trace_start) {
+        let lane = lane.unwrap_or_else(|| core.tracer.external_lane());
+        core.tracer
+            .span(lane, EventKind::FutureWait, t0, std::time::Instant::now(), 0);
+    }
 }
 
 /// Builder for a [`Runtime`] (HPX's command-line/config equivalent).
@@ -140,6 +166,8 @@ pub struct RuntimeBuilder {
     policy: SchedulerPolicy,
     numa_domains: usize,
     thread_name: String,
+    locality: u32,
+    trace_capacity: usize,
 }
 
 impl Default for RuntimeBuilder {
@@ -149,6 +177,8 @@ impl Default for RuntimeBuilder {
             policy: SchedulerPolicy::LocalPriority,
             numa_domains: 1,
             thread_name: "parallex-worker".to_string(),
+            locality: 0,
+            trace_capacity: crate::introspect::events::DEFAULT_LANE_CAPACITY,
         }
     }
 }
@@ -181,17 +211,38 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Locality id used in counter paths and trace pids (set by
+    /// [`crate::locality::Cluster`]; standalone runtimes are locality 0).
+    pub fn locality_id(mut self, id: u32) -> Self {
+        self.locality = id;
+        self
+    }
+
+    /// Per-lane event capacity of the structured tracer (events past the
+    /// cap are dropped and counted, bounding trace memory).
+    pub fn trace_capacity(mut self, events_per_lane: usize) -> Self {
+        assert!(events_per_lane > 0, "trace capacity must be positive");
+        self.trace_capacity = events_per_lane;
+        self
+    }
+
     /// Start the workers and return the runtime.
     pub fn build(self) -> Runtime {
         let topology = Topology::uniform(self.workers, self.numa_domains.min(self.workers));
+        // One lane per worker plus one for external (non-worker) threads.
+        let tracer = Arc::new(Tracer::with_capacity(self.workers + 1, self.trace_capacity));
         let core = Arc::new(Core {
             sched: Scheduler::with_topology(self.workers, self.policy, &topology),
             outstanding: AtomicUsize::new(0),
             idle_lock: Mutex::new(()),
             idle_cond: Condvar::new(),
             counters: Counters::default(),
-            trace: crate::trace::TaskTrace::default(),
+            worker_stats: (0..self.workers).map(|_| WorkerStat::default()).collect(),
+            tracer: tracer.clone(),
         });
+        core.sched.attach_tracer(tracer.clone());
+        let registry = Arc::new(CounterRegistry::new());
+        crate::perf::register_runtime_counters(&registry, self.locality, &core);
         let threads = (0..self.workers)
             .map(|i| {
                 let core = core.clone();
@@ -203,10 +254,13 @@ impl RuntimeBuilder {
             .collect();
         Runtime {
             inner: Arc::new(RuntimeInner {
+                legacy_trace: crate::trace::TaskTrace::with_tracer(tracer),
                 core,
                 topology,
                 threads: Mutex::new(threads),
                 timer: Mutex::new(None),
+                registry,
+                locality: self.locality,
             }),
         }
     }
@@ -253,6 +307,13 @@ struct RuntimeInner {
     threads: Mutex<Vec<JoinHandle<()>>>,
     /// Lazily started timer thread backing `spawn_after` / `sleep`.
     timer: Mutex<Option<Arc<crate::parcel::TimerWheel>>>,
+    /// HPX-style counter registry, pre-populated with this runtime's
+    /// counters at hierarchical paths.
+    registry: Arc<CounterRegistry>,
+    /// Locality id used in counter paths and trace pids.
+    locality: u32,
+    /// Compatibility facade over `core.tracer` (see [`crate::trace`]).
+    legacy_trace: crate::trace::TaskTrace,
 }
 
 impl RuntimeInner {
@@ -311,9 +372,37 @@ impl Runtime {
     }
 
     /// The task timeline recorder (disabled until
-    /// [`crate::trace::TaskTrace::start`] is called).
+    /// [`crate::trace::TaskTrace::start`] is called). Legacy facade over
+    /// [`Runtime::tracer`].
     pub fn task_trace(&self) -> &crate::trace::TaskTrace {
-        &self.inner.core.trace
+        &self.inner.legacy_trace
+    }
+
+    /// The structured event tracer (see [`crate::introspect`]): typed
+    /// spans/instants for task runs, steals, parks/wakes, LCO waits and
+    /// parcel traffic, recorded into per-worker bounded buffers.
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.core.tracer
+    }
+
+    /// The HPX-style counter registry for this runtime, pre-populated
+    /// with `/threads{...}`, `/parcels{...}` and `/lcos{...}` counters.
+    /// Share it with a [`crate::introspect::CounterSampler`] for
+    /// interval sampling.
+    pub fn counter_registry(&self) -> &Arc<CounterRegistry> {
+        &self.inner.registry
+    }
+
+    /// Snapshot every registered counter (see
+    /// [`crate::introspect::CounterSnapshot::delta`] for interval rates).
+    pub fn counter_snapshot(&self) -> CounterSnapshot {
+        self.inner.registry.snapshot()
+    }
+
+    /// Locality id this runtime reports under in counter paths and
+    /// trace pids (0 unless set by a cluster).
+    pub fn locality_id(&self) -> u32 {
+        self.inner.locality
     }
 
     pub(crate) fn core(&self) -> &Arc<Core> {

@@ -33,12 +33,14 @@
 //! wakeups, an idle one burns ~0% CPU, and a pinned task can never be
 //! stranded by its wakeup going to a worker that cannot acquire it.
 
+use crate::introspect::{EventKind, Tracer};
 use crate::task::{Priority, ScheduleHint, Task};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
 use crossbeam::queue::SegQueue;
 use parking_lot::{Condvar, Mutex};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Which scheduling policy to run (HPX `--hpx:queuing`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -213,6 +215,10 @@ pub struct Scheduler {
     pub(crate) stat_parks: AtomicUsize,
     /// Notify syscalls issued (only when a worker was parked).
     pub(crate) stat_wakes: AtomicUsize,
+    /// Event recorder attached by the owning runtime (steal/park/wake
+    /// events). Standalone schedulers (tests, benches) have none; the
+    /// check is one acquire load, and a no-op when tracing is disabled.
+    tracer: OnceLock<Arc<Tracer>>,
     shutdown: AtomicBool,
 }
 
@@ -253,8 +259,23 @@ impl Scheduler {
             stat_steal_batches: AtomicUsize::new(0),
             stat_parks: AtomicUsize::new(0),
             stat_wakes: AtomicUsize::new(0),
+            tracer: OnceLock::new(),
             shutdown: AtomicBool::new(false),
         }
+    }
+
+    /// Attach the runtime's event tracer (idempotent; first caller wins).
+    pub(crate) fn attach_tracer(&self, tracer: Arc<Tracer>) {
+        let _ = self.tracer.set(tracer);
+    }
+
+    /// The attached tracer, if any and currently recording.
+    #[inline]
+    fn tracer_if_enabled(&self) -> Option<&Tracer> {
+        self.tracer
+            .get()
+            .map(|t| t.as_ref())
+            .filter(|t| t.is_enabled())
     }
 
     /// Create a scheduler whose steal order follows a topology: each thief
@@ -492,6 +513,9 @@ impl Scheduler {
                 if dest.is_some() {
                     self.stat_steal_batches.fetch_add(1, Ordering::Relaxed);
                 }
+                if let Some(t) = self.tracer_if_enabled() {
+                    t.instant(thief, EventKind::Steal, victim as u64);
+                }
                 return got;
             }
         }
@@ -536,15 +560,20 @@ impl Scheduler {
             slot.parked.store(false, Ordering::SeqCst);
         } else {
             let mut guard = slot.lock.lock();
+            let mut park_span: Option<std::time::Instant> = None;
             if slot.epoch.load(Ordering::SeqCst) == epoch0
                 && !self.runnable_by(worker)
                 && !self.is_shutdown()
             {
                 self.stat_parks.fetch_add(1, Ordering::Relaxed);
+                park_span = self.tracer_if_enabled().map(|_| std::time::Instant::now());
                 slot.cond.wait(&mut guard);
             }
             drop(guard);
             slot.parked.store(false, Ordering::SeqCst);
+            if let (Some(t0), Some(t)) = (park_span, self.tracer_if_enabled()) {
+                t.span(worker, EventKind::Park, t0, std::time::Instant::now(), 0);
+            }
         }
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
@@ -552,11 +581,17 @@ impl Scheduler {
     /// Bump a slot's epoch and notify it (the waker side of the
     /// eventcount). Callers must have claimed the slot's park flag, or be
     /// waking unconditionally (shutdown).
-    fn wake_slot(&self, slot: &ParkSlot) {
-        let _guard = slot.lock.lock();
-        slot.epoch.fetch_add(1, Ordering::SeqCst);
-        self.stat_wakes.fetch_add(1, Ordering::Relaxed);
-        slot.cond.notify_one();
+    fn wake_slot(&self, worker: usize, slot: &ParkSlot) {
+        {
+            let _guard = slot.lock.lock();
+            slot.epoch.fetch_add(1, Ordering::SeqCst);
+            self.stat_wakes.fetch_add(1, Ordering::Relaxed);
+            slot.cond.notify_one();
+        }
+        // Recorded on the woken worker's lane: "worker was woken here".
+        if let Some(t) = self.tracer_if_enabled() {
+            t.instant(worker, EventKind::Wake, 0);
+        }
     }
 
     /// Wake worker `w` if it advertised itself as parked. Used after
@@ -566,7 +601,7 @@ impl Scheduler {
     fn notify_worker(&self, w: usize) {
         let slot = &self.queues[w].park;
         if slot.parked.swap(false, Ordering::SeqCst) {
-            self.wake_slot(slot);
+            self.wake_slot(w, slot);
         }
     }
 
@@ -577,9 +612,9 @@ impl Scheduler {
         if self.sleepers.load(Ordering::SeqCst) == 0 {
             return;
         }
-        for q in &self.queues {
+        for (w, q) in self.queues.iter().enumerate() {
             if q.park.parked.swap(false, Ordering::SeqCst) {
-                self.wake_slot(&q.park);
+                self.wake_slot(w, &q.park);
                 return;
             }
         }

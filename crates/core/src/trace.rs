@@ -6,10 +6,19 @@
 //! pool utilization and grain-size statistics — the quantities the
 //! paper's AMT-overhead discussion revolves around, measured on the *real*
 //! runtime rather than the simulator.
+//!
+//! **Deprecation note:** this API predates [`crate::introspect`] and is
+//! kept as a thin compatibility facade over
+//! [`introspect::Tracer`](crate::introspect::Tracer). It now shares the
+//! tracer's per-worker bounded buffers (no more global-mutex hot path,
+//! no unbounded growth) and simply projects the task-run spans out of
+//! the richer event stream. New code should use `Runtime::tracer()` and
+//! the `introspect` exporters directly; `TaskTrace::report` remains the
+//! canonical busy-time/utilization summary.
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
+
+use crate::introspect::{EventKind, Tracer};
 
 /// One executed task.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -31,50 +40,43 @@ impl TaskRecord {
 
 /// Recorder attached to a runtime (off by default; negligible cost while
 /// disabled — one relaxed atomic load per task).
+///
+/// Compatibility facade over the runtime's
+/// [`introspect::Tracer`](crate::introspect::Tracer): `start`/`stop`
+/// drive the shared tracer, and `stop` filters the task-run spans back
+/// into the legacy [`TaskRecord`] shape. Starting either interface
+/// starts (and clears) the same underlying event buffers.
 pub struct TaskTrace {
-    enabled: AtomicBool,
-    epoch: Instant,
-    records: Mutex<Vec<TaskRecord>>,
-}
-
-impl Default for TaskTrace {
-    fn default() -> Self {
-        TaskTrace {
-            enabled: AtomicBool::new(false),
-            epoch: Instant::now(),
-            records: Mutex::new(Vec::new()),
-        }
-    }
+    tracer: Arc<Tracer>,
 }
 
 impl TaskTrace {
-    /// Begin recording (clears previous records).
-    pub fn start(&self) {
-        self.records.lock().clear();
-        self.enabled.store(true, Ordering::Release);
+    pub(crate) fn with_tracer(tracer: Arc<Tracer>) -> Self {
+        TaskTrace { tracer }
     }
 
-    /// Stop recording and return the timeline.
+    /// Begin recording (clears previous records).
+    pub fn start(&self) {
+        self.tracer.start();
+    }
+
+    /// Stop recording and return the timeline (task-run spans only; use
+    /// `Runtime::tracer()` for the full typed event stream).
     pub fn stop(&self) -> Vec<TaskRecord> {
-        self.enabled.store(false, Ordering::Release);
-        std::mem::take(&mut *self.records.lock())
+        self.tracer
+            .stop()
+            .of_kind(EventKind::TaskRun)
+            .map(|e| TaskRecord {
+                worker: e.lane,
+                start_us: e.t_us,
+                end_us: e.t_us + e.dur_us.unwrap_or(0.0),
+            })
+            .collect()
     }
 
     /// Whether recording is active.
     pub fn is_enabled(&self) -> bool {
-        self.enabled.load(Ordering::Acquire)
-    }
-
-    pub(crate) fn record(&self, worker: usize, start: Instant, end: Instant) {
-        if !self.is_enabled() {
-            return;
-        }
-        let rec = TaskRecord {
-            worker,
-            start_us: start.duration_since(self.epoch).as_secs_f64() * 1e6,
-            end_us: end.duration_since(self.epoch).as_secs_f64() * 1e6,
-        };
-        self.records.lock().push(rec);
+        self.tracer.is_enabled()
     }
 
     /// Condense a timeline into summary statistics.
@@ -189,6 +191,32 @@ mod tests {
             assert!(r.worker < 2);
             assert!(r.end_us >= r.start_us);
         }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn trace_capacity_bounds_records() {
+        // Per-worker buffers are capped; overflow shows up in the
+        // dropped counter instead of unbounded memory growth.
+        let rt = Runtime::builder()
+            .worker_threads(2)
+            .trace_capacity(8)
+            .build();
+        rt.task_trace().start();
+        let l = crate::lcos::latch::Latch::for_runtime(&rt, 200);
+        for _ in 0..200 {
+            let l = l.clone();
+            rt.spawn(move || l.count_down(1));
+        }
+        l.wait();
+        rt.wait_idle();
+        let trace = rt.tracer().stop();
+        assert!(
+            trace.events.len() <= 8 * rt.tracer().lanes(),
+            "{} events exceed cap",
+            trace.events.len()
+        );
+        assert!(trace.dropped > 0, "expected overflow to be counted");
         rt.shutdown();
     }
 

@@ -8,6 +8,7 @@
 //! any other grid size.
 
 use crate::kernel::{jacobi2d_coeffs, Provenance, Vectorization};
+use parallex::introspect::{CounterPath, CounterSnapshot, Instance};
 use parallex_machine::spec::ProcessorId;
 
 /// The hardware events the paper reads.
@@ -60,6 +61,26 @@ impl HwCounters {
     /// E5-2660 v3 and Hi1616 do not).
     pub fn stalls_supported(&self) -> bool {
         self.stall_provenance == Provenance::Paper
+    }
+
+    /// Render the measurement through the runtime's counter-path schema
+    /// (`/papi{locality#L/total}/...`), so emulated hardware counts print,
+    /// merge and diff with [`parallex`] runtime snapshots. Counts round to
+    /// the nearest integer; the snapshot carries no timestamp (t = 0).
+    pub fn as_snapshot(&self, locality: u32) -> CounterSnapshot {
+        let entry = |name: &str, v: f64| {
+            (CounterPath::new("papi", locality, Instance::Total, name), v.round() as u64)
+        };
+        CounterSnapshot::from_entries(
+            0.0,
+            vec![
+                entry("count/instructions", self.instructions),
+                entry("count/cache-misses", self.cache_misses),
+                entry("count/l2-misses", self.l2_misses),
+                entry("count/frontend-stalls", self.fe_stalls),
+                entry("count/backend-stalls", self.be_stalls),
+            ],
+        )
     }
 }
 
@@ -171,6 +192,22 @@ mod tests {
         let big = measure(ProcessorId::A64FX, 8, Auto, 2048, 1024, 10);
         close(big.instructions, 2.0 * small.instructions);
         close(big.be_stalls, 2.0 * small.be_stalls);
+    }
+
+    #[test]
+    fn snapshot_uses_parseable_native_paths() {
+        let m = measure_reference(ProcessorId::A64FX, 8, Auto);
+        let snap = m.as_snapshot(1);
+        assert_eq!(snap.len(), 5);
+        for (p, v) in snap.iter() {
+            assert_eq!(&CounterPath::parse(&p.to_string()).unwrap(), p);
+            assert_eq!(p.object, "papi");
+            assert_eq!(p.locality, 1);
+            assert!(v > 0, "{p}");
+        }
+        let ins =
+            snap.get(&CounterPath::new("papi", 1, Instance::Total, "count/instructions"));
+        assert_eq!(ins, Some(m.instructions.round() as u64));
     }
 
     #[test]

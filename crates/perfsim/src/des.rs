@@ -8,6 +8,7 @@
 //! model, HPX is known to have contention overheads when the grain size is
 //! too small", Section VII-B).
 
+use parallex::introspect::{CounterPath, CounterSnapshot, EventKind, Instance, Trace, TraceEvent};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -54,6 +55,8 @@ pub struct DesResult {
     pub steals: usize,
     /// Busy time per core, nanoseconds.
     pub busy_ns: Vec<f64>,
+    /// Tasks executed per core.
+    pub tasks_run: Vec<usize>,
 }
 
 impl DesResult {
@@ -64,11 +67,61 @@ impl DesResult {
         }
         self.busy_ns.iter().sum::<f64>() / (self.busy_ns.len() as f64 * self.makespan_ns)
     }
+
+    /// Render the outcome through the native counter schema so simulated
+    /// and measured runs diff path-for-path. The snapshot timestamp is the
+    /// virtual makespan; counter names mirror
+    /// `parallex::perf::register_runtime_counters` (`/threads{...}` paths).
+    pub fn as_snapshot(&self, locality: u32) -> CounterSnapshot {
+        let mut entries = Vec::new();
+        let total: usize = self.tasks_run.iter().sum();
+        entries.push((
+            CounterPath::new("threads", locality, Instance::Total, "count/cumulative"),
+            total as u64,
+        ));
+        entries.push((
+            CounterPath::new("threads", locality, Instance::Total, "count/spawned"),
+            total as u64,
+        ));
+        entries.push((
+            CounterPath::new("threads", locality, Instance::Total, "count/stolen"),
+            self.steals as u64,
+        ));
+        for (w, (&n, &b)) in self.tasks_run.iter().zip(&self.busy_ns).enumerate() {
+            entries.push((
+                CounterPath::new("threads", locality, Instance::Worker(w), "count/cumulative"),
+                n as u64,
+            ));
+            entries.push((
+                CounterPath::new("threads", locality, Instance::Worker(w), "time/busy-ns"),
+                b as u64,
+            ));
+        }
+        CounterSnapshot::from_entries(self.makespan_ns / 1_000.0, entries)
+    }
 }
 
 /// Run the simulation: all tasks are ready at time zero (one bulk-
 /// synchronous wave, which is what each stencil time step submits).
 pub fn simulate(cfg: &DesConfig, tasks: &[SimTask]) -> DesResult {
+    run_sim(cfg, tasks, None)
+}
+
+/// [`simulate`], additionally producing an event trace in the runtime's
+/// native schema: one lane per simulated core, a `TaskRun` span per task
+/// (virtual time, `arg` = 1 when stolen) and a `Steal` instant per steal
+/// (`arg` = victim core). The trace feeds [`chrome_trace_json`] unchanged,
+/// so a simulated schedule renders next to a measured one in Perfetto.
+///
+/// [`chrome_trace_json`]: parallex::introspect::chrome_trace_json
+pub fn simulate_traced(cfg: &DesConfig, tasks: &[SimTask]) -> (DesResult, Trace) {
+    let mut events = Vec::new();
+    let result = run_sim(cfg, tasks, Some(&mut events));
+    let trace = Trace::from_parts(cfg.cores, events, 0);
+    (result, trace)
+}
+
+fn run_sim(cfg: &DesConfig, tasks: &[SimTask], mut sink: Option<&mut Vec<TraceEvent>>) -> DesResult {
     assert!(cfg.cores > 0);
     // Distribute: pinned tasks to their core, unpinned round-robin (the
     // runtime's block/parallel executors do the same).
@@ -92,14 +145,15 @@ pub fn simulate(cfg: &DesConfig, tasks: &[SimTask]) -> DesResult {
         events.push(Reverse((0, c)));
     }
     let mut busy = vec![0.0; cfg.cores];
+    let mut tasks_run = vec![0usize; cfg.cores];
     let mut makespan = 0.0f64;
     let mut steals = 0;
 
     while let Some(Reverse((now, core))) = events.pop() {
         let now_ns = now as f64;
         // Own queue first.
-        let (dur, extra) = if let Some((d, _)) = queues[core].pop_front() {
-            (d, 0.0)
+        let (dur, extra, victim) = if let Some((d, _)) = queues[core].pop_front() {
+            (d, 0.0, None)
         } else if cfg.steal_enabled {
             // Steal from the longest queue, oldest unpinned task first.
             let victim = (0..cfg.cores)
@@ -108,13 +162,13 @@ pub fn simulate(cfg: &DesConfig, tasks: &[SimTask]) -> DesResult {
             let mut stolen = None;
             if let Some(v) = victim {
                 if let Some(pos) = queues[v].iter().position(|(_, pinned)| !pinned) {
-                    stolen = queues[v].remove(pos);
+                    stolen = queues[v].remove(pos).map(|t| (t, v));
                 }
             }
             match stolen {
-                Some((d, _)) => {
+                Some(((d, _), v)) => {
                     steals += 1;
-                    (d, cfg.steal_latency_ns)
+                    (d, cfg.steal_latency_ns, Some(v))
                 }
                 None => continue, // nothing left anywhere for this core
             }
@@ -123,11 +177,30 @@ pub fn simulate(cfg: &DesConfig, tasks: &[SimTask]) -> DesResult {
         };
         let finish = now_ns + cfg.task_overhead_ns + extra + dur;
         busy[core] += dur;
+        tasks_run[core] += 1;
+        if let Some(out) = sink.as_deref_mut() {
+            if let Some(v) = victim {
+                out.push(TraceEvent {
+                    lane: core,
+                    kind: EventKind::Steal,
+                    t_us: now_ns / 1_000.0,
+                    dur_us: None,
+                    arg: v as u64,
+                });
+            }
+            out.push(TraceEvent {
+                lane: core,
+                kind: EventKind::TaskRun,
+                t_us: now_ns / 1_000.0,
+                dur_us: Some((finish - now_ns) / 1_000.0),
+                arg: victim.is_some() as u64,
+            });
+        }
         makespan = makespan.max(finish);
         events.push(Reverse((finish.ceil() as u64, core)));
     }
 
-    DesResult { makespan_ns: makespan, steals, busy_ns: busy }
+    DesResult { makespan_ns: makespan, steals, busy_ns: busy, tasks_run }
 }
 
 /// Convenience: simulate one stencil time step of `lups` updates split
@@ -224,6 +297,42 @@ mod tests {
         let analytic = 4.0 * (per_chunk + cfg.task_overhead_ns);
         let err = (r.makespan_ns - analytic).abs() / analytic;
         assert!(err < 0.02, "DES {} vs analytic {}", r.makespan_ns, analytic);
+    }
+
+    #[test]
+    fn traced_sim_mirrors_untraced_result() {
+        let cfg = DesConfig { cores: 4, task_overhead_ns: 100.0, ..Default::default() };
+        let tasks = uniform(16, 5000.0);
+        let plain = simulate(&cfg, &tasks);
+        let (traced, trace) = simulate_traced(&cfg, &tasks);
+        assert_eq!(plain.makespan_ns, traced.makespan_ns);
+        assert_eq!(plain.steals, traced.steals);
+        assert_eq!(trace.of_kind(EventKind::TaskRun).count(), 16);
+        assert_eq!(trace.of_kind(EventKind::Steal).count(), traced.steals);
+        trace.check_well_nested().unwrap();
+    }
+
+    #[test]
+    fn sim_snapshot_speaks_native_counter_schema() {
+        let cfg = DesConfig { cores: 2, task_overhead_ns: 50.0, ..Default::default() };
+        let r = simulate(&cfg, &uniform(8, 1000.0));
+        let snap = r.as_snapshot(3);
+        // Every simulated path round-trips through the textual HPX form,
+        // exactly like the paths the native registry emits.
+        for (p, _) in snap.iter() {
+            assert_eq!(&CounterPath::parse(&p.to_string()).unwrap(), p);
+            assert_eq!(p.locality, 3);
+        }
+        let total =
+            snap.get(&CounterPath::new("threads", 3, Instance::Total, "count/cumulative"));
+        assert_eq!(total, Some(8));
+        let per_worker: u64 = (0..2)
+            .map(|w| {
+                snap.get(&CounterPath::new("threads", 3, Instance::Worker(w), "count/cumulative"))
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(per_worker, 8);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use crate::halo::HaloMailbox;
 use parallex::agas::Gid;
 use parallex::algorithms::par;
+use parallex::introspect::EventKind;
 use parallex::lcos::future::{when_all, Future};
 use parallex::locality::{Cluster, Locality};
 use parallex::parcel::serialize;
@@ -236,7 +237,11 @@ fn drive_partition(
             }
         }
         // (3) Resolve halos (futures — possibly already buffered) and
-        // finish the edge cells.
+        // finish the edge cells. The wait is recorded as a halo-exchange
+        // span (arg = step) so a trace shows how much of each step the
+        // parcels were still in flight after the interior finished.
+        let tracer = rt.tracer();
+        let halo_start = tracer.is_enabled().then(std::time::Instant::now);
         let left_halo = match left_gid {
             Some(_) => store.take(loc, Side::Left, t).get(),
             None => params.left_bc,
@@ -245,6 +250,10 @@ fn drive_partition(
             Some(_) => store.take(loc, Side::Right, t).get(),
             None => params.right_bc,
         };
+        if let Some(t0) = halo_start {
+            let lane = rt.current_worker().unwrap_or_else(|| tracer.external_lane());
+            tracer.span(lane, EventKind::HaloExchange, t0, std::time::Instant::now(), t);
+        }
         u[0] = left_halo;
         u[n + 1] = right_halo;
         next[1] = u[1] + r * (u[0] - 2.0 * u[1] + u[2]);
