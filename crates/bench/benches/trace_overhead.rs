@@ -11,6 +11,9 @@
 //!     task).
 //!   * raw per-record costs: the disabled check, an enabled instant, an
 //!     enabled span.
+//!   * a latency-histogram record (one relaxed `fetch_add` on a
+//!     log-bucketed counter) — the always-on cost each task/steal/wait
+//!     pays for the quantile counters; budgeted at <= 50 ns.
 //!
 //! Results are printed and written to `BENCH_trace.json` at the workspace
 //! root (consumed by CI). Set `TRACE_BENCH_SMOKE=1` for a seconds-long
@@ -105,6 +108,20 @@ fn main() {
     });
     let span_ns = d.as_secs_f64() * 1e9 / raw_iters as f64;
 
+    // ---- latency-histogram record ---------------------------------------
+    // Varying values touch different buckets so the bucket-index math is
+    // measured, not one cache-hot counter.
+    let hist = parallex::introspect::LatencyHistogram::new();
+    let d = time_median(reps, || {
+        let t = Instant::now();
+        for i in 0..raw_iters {
+            hist.record((i as u64).wrapping_mul(0x9e37_79b9) & 0xfff_ffff);
+        }
+        t.elapsed()
+    });
+    let hist_record_ns = d.as_secs_f64() * 1e9 / raw_iters as f64;
+    assert!(hist.count() >= raw_iters as u64);
+
     // ---- report ---------------------------------------------------------
     println!("tracing overhead ({} tasks, {workers} workers{}):", tasks, if smoke { ", SMOKE" } else { "" });
     println!("  spawn-drain tracer off: {off_ns:>8.1} ns/task");
@@ -112,6 +129,7 @@ fn main() {
     println!("  raw disabled check:     {disabled_ns:>8.2} ns");
     println!("  raw instant record:     {instant_ns:>8.2} ns");
     println!("  raw span record:        {span_ns:>8.2} ns");
+    println!("  histogram record:       {hist_record_ns:>8.2} ns");
 
     let json = format!(
         "{{\n  \"bench\": \"trace_overhead\",\n  \"smoke\": {smoke},\n  \
@@ -119,7 +137,8 @@ fn main() {
          \"off_ns_per_task\": {off_ns:.2}, \"on_ns_per_task\": {on_ns:.2}, \
          \"delta_ns_per_task\": {:.2}}},\n  \
          \"raw\": {{\"disabled_check_ns\": {disabled_ns:.3}, \
-         \"instant_ns\": {instant_ns:.3}, \"span_ns\": {span_ns:.3}}}\n}}\n",
+         \"instant_ns\": {instant_ns:.3}, \"span_ns\": {span_ns:.3}, \
+         \"hist_record_ns\": {hist_record_ns:.3}}}\n}}\n",
         on_ns - off_ns,
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");

@@ -1,0 +1,778 @@
+//! Critical-path analysis and per-worker time attribution over traces.
+//!
+//! The paper's central claim — halo latency is *hidden* under interior
+//! compute on a good fabric and *exposed* on a slow one — is a statement
+//! about where wall-clock time on each worker goes and what bounds the
+//! makespan. This module turns a recorded [`Trace`] (native, or the DES
+//! simulator's via `perfsim::des::simulate_traced`) into exactly those
+//! quantities:
+//!
+//! * [`analyze`] — per-lane **time attribution**: every microsecond of
+//!   the trace window is assigned to compute, parcel handling, exposed
+//!   wait, steal, park or idle, using the *self time* of each span (its
+//!   duration minus its children's), so categories are disjoint and the
+//!   conservation identity `wall ≈ compute + parcel + exposed_wait +
+//!   steal + park + idle` holds per lane. Compute that runs *nested
+//!   inside* a wait span (help-execution) is additionally reported as
+//!   `hidden_wait_us` — the latency the runtime overlapped — which is a
+//!   subset of `compute_us`, not a separate term of the identity.
+//! * **Critical path**: the innermost-active segments of every lane form
+//!   an interval set; walking backwards from the last-finishing segment
+//!   to the latest-finishing predecessor (the classic last-finisher
+//!   heuristic) yields the longest dependency chain across workers and
+//!   localities, with a per-kind breakdown of what the makespan is made
+//!   of. On a DES trace (cores execute their chains serially, all tasks
+//!   ready at t=0) the chain coverage equals the simulated makespan,
+//!   which is what validates the analyzer against ground truth.
+//! * **Parcel in-flight time**: `ParcelSend` instants are matched to
+//!   `ParcelRecv` span starts per action id in FIFO order across the
+//!   epoch-aligned traces, estimating the network time of each parcel.
+//!
+//! Lanes whose spans are not well nested (possible when the tracer
+//! dropped events at its capacity cap) are flagged `truncated` and
+//! attributed best-effort rather than rejected.
+
+use super::events::{EventKind, Trace};
+use super::hist::LatencyHistogram;
+
+/// Timestamp slack (µs) absorbing f64 rounding of trace clocks.
+const EPS: f64 = 1e-3;
+
+/// Where one lane's wall time went, in microseconds. All category
+/// fields except `hidden_wait_us` are disjoint self-times that sum
+/// (with `idle_us`) to `wall_us` on a well-nested lane.
+#[derive(Clone, Debug)]
+pub struct LaneAttribution {
+    /// Locality the lane's trace came from.
+    pub locality: u32,
+    /// Lane index within the trace (worker index; the last lane is the
+    /// external lane for runtime traces).
+    pub lane: usize,
+    /// True for the trace's last lane (non-worker threads).
+    pub external: bool,
+    /// Width of the global trace window, µs (same for every lane).
+    pub wall_us: f64,
+    /// Task execution self-time.
+    pub compute_us: f64,
+    /// Parcel handler self-time.
+    pub parcel_us: f64,
+    /// Wait self-time (future-wait and halo-exchange spans with nothing
+    /// help-executed under them): latency the runtime failed to hide.
+    pub exposed_wait_us: f64,
+    /// Task/parcel self-time nested under a wait span: latency hidden by
+    /// help-execution. A subset of `compute_us`/`parcel_us`, reported
+    /// separately; not an extra term of the conservation identity.
+    pub hidden_wait_us: f64,
+    /// Successful-steal probe self-time.
+    pub steal_us: f64,
+    /// Parked-in-scheduler self-time.
+    pub park_us: f64,
+    /// Application (`User`) span self-time.
+    pub other_us: f64,
+    /// Window time not covered by any span on this lane.
+    pub idle_us: f64,
+    /// Successful steals by this lane (span or instant events).
+    pub steals: usize,
+    /// Spans on this lane were not well nested (events were dropped or
+    /// clipped); attribution is best-effort.
+    pub truncated: bool,
+}
+
+impl LaneAttribution {
+    /// Sum of the disjoint categories plus idle — the left side of the
+    /// conservation identity.
+    pub fn accounted_us(&self) -> f64 {
+        self.compute_us
+            + self.parcel_us
+            + self.exposed_wait_us
+            + self.steal_us
+            + self.park_us
+            + self.other_us
+            + self.idle_us
+    }
+
+    /// `|accounted - wall| / wall` — 0 means every microsecond of the
+    /// window is attributed exactly once.
+    pub fn conservation_error(&self) -> f64 {
+        if self.wall_us <= 0.0 {
+            return 0.0;
+        }
+        (self.accounted_us() - self.wall_us).abs() / self.wall_us
+    }
+}
+
+/// One link of the critical-path chain: a span self-interval during
+/// which its lane's innermost activity bounded the makespan.
+#[derive(Clone, Copy, Debug)]
+pub struct PathSegment {
+    /// Locality of the lane.
+    pub locality: u32,
+    /// Lane index.
+    pub lane: usize,
+    /// Kind of the span whose self-time this interval is.
+    pub kind: EventKind,
+    /// Aligned start, µs.
+    pub start_us: f64,
+    /// Aligned end, µs.
+    pub end_us: f64,
+}
+
+/// The longest dependency chain found by the last-finisher walk.
+#[derive(Clone, Debug, Default)]
+pub struct CriticalPath {
+    /// Chain links in time order.
+    pub segments: Vec<PathSegment>,
+    /// Total time covered by the chain, µs.
+    pub covered_us: f64,
+    /// Window width (≈ the makespan the chain should explain), µs.
+    pub makespan_us: f64,
+    /// Chain time by event-kind name, largest first.
+    pub by_kind: Vec<(&'static str, f64)>,
+}
+
+impl CriticalPath {
+    /// `covered / makespan`: 1.0 means the chain explains the whole
+    /// makespan (serial DES lanes); lower means idle gaps the heuristic
+    /// could not attribute.
+    pub fn coverage(&self) -> f64 {
+        if self.makespan_us <= 0.0 {
+            return 1.0;
+        }
+        (self.covered_us / self.makespan_us).min(1.0)
+    }
+}
+
+/// Matched parcel send→receive flight-time statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ParcelFlight {
+    /// Send/receive pairs matched (per action id, FIFO in time).
+    pub matched: usize,
+    /// Sends with no matching receive in the trace window.
+    pub unmatched_sends: usize,
+    /// Mean in-flight time, µs.
+    pub mean_us: f64,
+    /// 50th percentile in-flight time, µs.
+    pub p50_us: f64,
+    /// 99th percentile in-flight time, µs.
+    pub p99_us: f64,
+}
+
+/// Full analysis of a set of per-locality traces.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Global window width, µs (first span start to last span end
+    /// across all localities, epochs aligned).
+    pub wall_us: f64,
+    /// Per-lane attribution, in (locality, lane) order.
+    pub lanes: Vec<LaneAttribution>,
+    /// The longest dependency chain.
+    pub critical_path: CriticalPath,
+    /// Parcel in-flight statistics.
+    pub parcels: ParcelFlight,
+    /// Total events dropped by the tracers (capacity caps).
+    pub dropped: usize,
+}
+
+impl Analysis {
+    /// Worker (non-external) lanes.
+    pub fn worker_lanes(&self) -> impl Iterator<Item = &LaneAttribution> {
+        self.lanes.iter().filter(|l| !l.external)
+    }
+
+    /// Sum of exposed wait over worker lanes, µs — the latency the
+    /// runtime failed to hide. Shrinks as compute grain grows.
+    pub fn exposed_wait_us(&self) -> f64 {
+        self.worker_lanes().map(|l| l.exposed_wait_us).sum()
+    }
+
+    /// Sum of hidden (overlapped) wait over worker lanes, µs.
+    pub fn hidden_wait_us(&self) -> f64 {
+        self.worker_lanes().map(|l| l.hidden_wait_us).sum()
+    }
+
+    /// Worst conservation error over well-nested worker lanes.
+    pub fn max_conservation_error(&self) -> f64 {
+        self.worker_lanes()
+            .filter(|l| !l.truncated)
+            .map(|l| l.conservation_error())
+            .fold(0.0, f64::max)
+    }
+}
+
+fn is_wait(kind: EventKind) -> bool {
+    matches!(kind, EventKind::FutureWait | EventKind::HaloExchange)
+}
+
+/// A span open on the sweep stack.
+struct Open {
+    end: f64,
+    kind: EventKind,
+    /// Interior position up to which this span's time is attributed
+    /// (to children or to emitted self segments).
+    cursor: f64,
+}
+
+struct LaneSweep<'a> {
+    att: LaneAttribution,
+    segments: &'a mut Vec<PathSegment>,
+    wait_depth: usize,
+}
+
+impl LaneSweep<'_> {
+    /// Attribute `[from, to]` as self-time of a span of `kind`.
+    fn emit(&mut self, kind: EventKind, from: f64, to: f64) {
+        let d = to - from;
+        if d <= 0.0 {
+            return;
+        }
+        match kind {
+            EventKind::TaskRun => {
+                self.att.compute_us += d;
+                if self.wait_depth > 0 {
+                    self.att.hidden_wait_us += d;
+                }
+            }
+            EventKind::ParcelRecv => {
+                self.att.parcel_us += d;
+                if self.wait_depth > 0 {
+                    self.att.hidden_wait_us += d;
+                }
+            }
+            EventKind::FutureWait | EventKind::HaloExchange => self.att.exposed_wait_us += d,
+            EventKind::Steal => self.att.steal_us += d,
+            EventKind::Park => self.att.park_us += d,
+            _ => self.att.other_us += d,
+        }
+        self.segments.push(PathSegment {
+            locality: self.att.locality,
+            lane: self.att.lane,
+            kind,
+            start_us: from,
+            end_us: to,
+        });
+    }
+}
+
+/// Sweep one lane's spans (sorted by start, wider-first on ties),
+/// attributing every span's self-time and emitting the lane's
+/// innermost-active segments.
+fn sweep_lane(
+    mut att: LaneAttribution,
+    spans: &[(f64, f64, EventKind)],
+    window: (f64, f64),
+    segments: &mut Vec<PathSegment>,
+) -> LaneAttribution {
+    let mut sweep = LaneSweep { att, segments, wait_depth: 0 };
+    let mut stack: Vec<Open> = Vec::new();
+    let mut top_cover_end = window.0;
+
+    let close_until = |sweep: &mut LaneSweep, stack: &mut Vec<Open>, t: f64| {
+        while let Some(top) = stack.last() {
+            if top.end <= t + EPS {
+                let popped = stack.pop().unwrap();
+                if is_wait(popped.kind) {
+                    sweep.wait_depth -= 1;
+                }
+                sweep.emit(popped.kind, popped.cursor, popped.end);
+                if let Some(parent) = stack.last_mut() {
+                    parent.cursor = parent.cursor.max(popped.end);
+                }
+            } else {
+                break;
+            }
+        }
+    };
+
+    for &(start, raw_end, kind) in spans {
+        let mut end = raw_end.max(start);
+        close_until(&mut sweep, &mut stack, start);
+        match stack.last_mut() {
+            None => {
+                if start > top_cover_end + EPS {
+                    sweep.att.idle_us += start - top_cover_end;
+                } else if start < top_cover_end - EPS {
+                    // Overlapping top-level spans: a truncated lane.
+                    sweep.att.truncated = true;
+                }
+                top_cover_end = top_cover_end.max(end);
+            }
+            Some(top) => {
+                if start > top.cursor + EPS {
+                    let (k, from) = (top.kind, top.cursor);
+                    sweep.emit(k, from, start);
+                }
+                if end > top.end + EPS {
+                    // Child sticks out of its parent (orphaned End after
+                    // a ring drop): clip and flag, don't reject.
+                    sweep.att.truncated = true;
+                    end = top.end;
+                }
+                let top = stack.last_mut().unwrap();
+                top.cursor = top.cursor.max(start.min(end));
+            }
+        }
+        if is_wait(kind) {
+            sweep.wait_depth += 1;
+        }
+        stack.push(Open { end, kind, cursor: start.min(end) });
+    }
+    close_until(&mut sweep, &mut stack, f64::INFINITY);
+    if window.1 > top_cover_end + EPS {
+        sweep.att.idle_us += window.1 - top_cover_end;
+    }
+    att = sweep.att;
+    att
+}
+
+/// Analyze a set of `(locality, trace)` pairs (as returned by
+/// `Cluster::stop_trace`, or a single simulated trace). Epochs are
+/// aligned to the earliest one, exactly like the Chrome exporter.
+pub fn analyze(traces: &[(u32, Trace)]) -> Analysis {
+    let epoch0 = traces.iter().map(|(_, t)| t.epoch).min();
+    let offset = |t: &Trace| -> f64 {
+        epoch0.map_or(0.0, |e0| t.epoch.saturating_duration_since(e0).as_secs_f64() * 1e6)
+    };
+
+    // Global window across all traces.
+    let mut w0 = f64::INFINITY;
+    let mut w1 = f64::NEG_INFINITY;
+    for (_, t) in traces {
+        let off = offset(t);
+        for e in &t.events {
+            w0 = w0.min(e.t_us + off);
+            w1 = w1.max(e.t_us + e.dur_us.unwrap_or(0.0) + off);
+        }
+    }
+    if w0 > w1 {
+        (w0, w1) = (0.0, 0.0);
+    }
+    let wall_us = w1 - w0;
+
+    let mut lanes = Vec::new();
+    let mut segments: Vec<PathSegment> = Vec::new();
+    let mut dropped = 0;
+    for (loc, t) in traces {
+        dropped += t.dropped;
+        for lane in 0..t.lanes {
+            let mut spans: Vec<(f64, f64, EventKind)> = Vec::new();
+            let mut steals = 0;
+            let off = offset(t);
+            for e in t.events.iter().filter(|e| e.lane == lane) {
+                if e.kind == EventKind::Steal {
+                    steals += 1;
+                }
+                if let Some(d) = e.dur_us {
+                    spans.push((e.t_us + off, e.t_us + d + off, e.kind));
+                }
+            }
+            spans.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0).unwrap().then(b.1.partial_cmp(&a.1).unwrap())
+            });
+            let att = LaneAttribution {
+                locality: *loc,
+                lane,
+                external: lane + 1 == t.lanes,
+                wall_us,
+                compute_us: 0.0,
+                parcel_us: 0.0,
+                exposed_wait_us: 0.0,
+                hidden_wait_us: 0.0,
+                steal_us: 0.0,
+                park_us: 0.0,
+                other_us: 0.0,
+                idle_us: 0.0,
+                steals,
+                truncated: false,
+            };
+            lanes.push(sweep_lane(att, &spans, (w0, w1), &mut segments));
+        }
+    }
+
+    // The external lane's blocking wait (the main thread parked on the
+    // final future) always ends at the makespan, so it would shadow the
+    // worker-level chain. It is an observer of the result, not a cause:
+    // drop external waits from candidacy. Help-executed work on the
+    // external lane (TaskRun spans) stays eligible.
+    let ext: std::collections::HashSet<(u32, usize)> = lanes
+        .iter()
+        .filter(|l| l.external)
+        .map(|l| (l.locality, l.lane))
+        .collect();
+    let path_cands: Vec<PathSegment> = segments
+        .iter()
+        .filter(|s| !(is_wait(s.kind) && ext.contains(&(s.locality, s.lane))))
+        .copied()
+        .collect();
+    let critical_path = walk_critical_path(&path_cands, wall_us);
+    let parcels = match_parcels(traces, &offset);
+
+    Analysis { wall_us, lanes, critical_path, parcels, dropped }
+}
+
+/// Last-finisher chain walk over the innermost-active segments.
+fn walk_critical_path(segments: &[PathSegment], makespan_us: f64) -> CriticalPath {
+    // Parks are idle by definition: the critical path hops lanes
+    // instead of passing through a sleeping worker.
+    let mut cands: Vec<&PathSegment> = segments
+        .iter()
+        .filter(|s| s.kind != EventKind::Park && s.end_us - s.start_us > 2.0 * EPS)
+        .collect();
+    cands.sort_by(|a, b| a.end_us.partial_cmp(&b.end_us).unwrap());
+
+    let mut chain: Vec<PathSegment> = Vec::new();
+    if let Some(last) = cands.last() {
+        chain.push(**last);
+        let mut cursor = last.start_us;
+        loop {
+            // Latest-finishing segment that ended before the chain head
+            // started — its completion is what plausibly enabled it.
+            let idx = cands.partition_point(|s| s.end_us <= cursor + EPS);
+            if idx == 0 {
+                break;
+            }
+            let pred = cands[idx - 1];
+            chain.push(*pred);
+            if pred.start_us >= cursor - EPS {
+                break; // zero-progress guard
+            }
+            cursor = pred.start_us;
+        }
+        chain.reverse();
+    }
+
+    let covered_us: f64 = chain.iter().map(|s| s.end_us - s.start_us).sum();
+    let mut by_kind: Vec<(&'static str, f64)> = Vec::new();
+    for s in &chain {
+        let name = s.kind.name();
+        match by_kind.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, d)) => *d += s.end_us - s.start_us,
+            None => by_kind.push((name, s.end_us - s.start_us)),
+        }
+    }
+    by_kind.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    CriticalPath { segments: chain, covered_us, makespan_us, by_kind }
+}
+
+/// FIFO-match `ParcelSend` instants to `ParcelRecv` span starts per
+/// action id across all (aligned) traces.
+fn match_parcels(traces: &[(u32, Trace)], offset: &dyn Fn(&Trace) -> f64) -> ParcelFlight {
+    use std::collections::HashMap;
+    let mut sends: HashMap<u64, Vec<f64>> = HashMap::new();
+    let mut recvs: HashMap<u64, Vec<f64>> = HashMap::new();
+    for (_, t) in traces {
+        let off = offset(t);
+        for e in &t.events {
+            match e.kind {
+                EventKind::ParcelSend => sends.entry(e.arg).or_default().push(e.t_us + off),
+                EventKind::ParcelRecv => recvs.entry(e.arg).or_default().push(e.t_us + off),
+                _ => {}
+            }
+        }
+    }
+    let mut flights: Vec<f64> = Vec::new();
+    let mut total_sends = 0;
+    for (action, mut s) in sends {
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        total_sends += s.len();
+        let mut r = recvs.remove(&action).unwrap_or_default();
+        r.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (send_t, recv_t) in s.iter().zip(r.iter()) {
+            flights.push((recv_t - send_t).max(0.0));
+        }
+    }
+    flights.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let matched = flights.len();
+    if matched == 0 {
+        return ParcelFlight { unmatched_sends: total_sends, ..Default::default() };
+    }
+    let q = |q: f64| flights[(((q * matched as f64).ceil() as usize).max(1) - 1).min(matched - 1)];
+    ParcelFlight {
+        matched,
+        unmatched_sends: total_sends - matched,
+        mean_us: flights.iter().sum::<f64>() / matched as f64,
+        p50_us: q(0.5),
+        p99_us: q(0.99),
+    }
+}
+
+/// Record every matched parcel flight time into a histogram
+/// (nanoseconds), e.g. to merge a trace-derived distribution with the
+/// runtime's live parcel-RTT channel.
+pub fn parcel_flight_histogram(traces: &[(u32, Trace)]) -> LatencyHistogram {
+    let epoch0 = traces.iter().map(|(_, t)| t.epoch).min();
+    let offset = |t: &Trace| -> f64 {
+        epoch0.map_or(0.0, |e0| t.epoch.saturating_duration_since(e0).as_secs_f64() * 1e6)
+    };
+    use std::collections::HashMap;
+    let mut sends: HashMap<u64, Vec<f64>> = HashMap::new();
+    let mut recvs: HashMap<u64, Vec<f64>> = HashMap::new();
+    for (_, t) in traces {
+        let off = offset(t);
+        for e in &t.events {
+            match e.kind {
+                EventKind::ParcelSend => sends.entry(e.arg).or_default().push(e.t_us + off),
+                EventKind::ParcelRecv => recvs.entry(e.arg).or_default().push(e.t_us + off),
+                _ => {}
+            }
+        }
+    }
+    let hist = LatencyHistogram::new();
+    for (action, mut s) in sends {
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut r = recvs.remove(&action).unwrap_or_default();
+        r.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (send_t, recv_t) in s.iter().zip(r.iter()) {
+            hist.record(((recv_t - send_t).max(0.0) * 1e3) as u64);
+        }
+    }
+    hist
+}
+
+/// Render an [`Analysis`] as an aligned plain-text report.
+pub fn render_report(a: &Analysis) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== attribution (wall {:.1} us, {} lanes, {} dropped events) ==\n",
+        a.wall_us,
+        a.lanes.len(),
+        a.dropped
+    ));
+    out.push_str(&format!(
+        "{:<16} {:>10} {:>10} {:>10} {:>8} {:>8} {:>10} {:>10} {:>6}\n",
+        "lane", "compute", "exposed-w", "hidden-w", "steal", "park", "idle", "consv-err", "steals"
+    ));
+    for l in &a.lanes {
+        let name = if l.external {
+            format!("L{} external", l.locality)
+        } else {
+            format!("L{} worker#{}", l.locality, l.lane)
+        };
+        out.push_str(&format!(
+            "{:<16} {:>10.1} {:>10.1} {:>10.1} {:>8.1} {:>8.1} {:>10.1} {:>9.2}% {:>6}{}\n",
+            name,
+            l.compute_us + l.parcel_us,
+            l.exposed_wait_us,
+            l.hidden_wait_us,
+            l.steal_us,
+            l.park_us,
+            l.idle_us,
+            l.conservation_error() * 100.0,
+            l.steals,
+            if l.truncated { "  (truncated)" } else { "" },
+        ));
+    }
+    let cp = &a.critical_path;
+    out.push_str(&format!(
+        "critical path: {} segments cover {:.1} us of {:.1} us makespan ({:.1}%)\n",
+        cp.segments.len(),
+        cp.covered_us,
+        cp.makespan_us,
+        cp.coverage() * 100.0
+    ));
+    for (name, d) in &cp.by_kind {
+        out.push_str(&format!("  {:<14} {:>10.1} us ({:.1}% of path)\n", name, d,
+            if cp.covered_us > 0.0 { d / cp.covered_us * 100.0 } else { 0.0 }));
+    }
+    let p = &a.parcels;
+    out.push_str(&format!(
+        "parcels: {} matched ({} unmatched), in-flight mean {:.1} us, p50 {:.1} us, p99 {:.1} us\n",
+        p.matched, p.unmatched_sends, p.mean_us, p.p50_us, p.p99_us
+    ));
+    out
+}
+
+/// Side-by-side category totals of two analyses (e.g. a native run vs
+/// the DES model of the same plan).
+pub fn diff_report(label_a: &str, a: &Analysis, label_b: &str, b: &Analysis) -> String {
+    let total = |x: &Analysis, f: &dyn Fn(&LaneAttribution) -> f64| -> f64 {
+        x.lanes.iter().map(f).sum()
+    };
+    type Row = (&'static str, Box<dyn Fn(&LaneAttribution) -> f64>);
+    let rows: Vec<Row> = vec![
+        ("compute", Box::new(|l: &LaneAttribution| l.compute_us + l.parcel_us)),
+        ("exposed-wait", Box::new(|l: &LaneAttribution| l.exposed_wait_us)),
+        ("hidden-wait", Box::new(|l: &LaneAttribution| l.hidden_wait_us)),
+        ("steal", Box::new(|l: &LaneAttribution| l.steal_us)),
+        ("park", Box::new(|l: &LaneAttribution| l.park_us)),
+        ("idle", Box::new(|l: &LaneAttribution| l.idle_us)),
+    ];
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>14} {:>14} {:>12}\n",
+        "category [us]", label_a, label_b, "delta"
+    ));
+    for (name, f) in &rows {
+        let va = total(a, f);
+        let vb = total(b, f);
+        out.push_str(&format!("{name:<14} {va:>14.1} {vb:>14.1} {:>12.1}\n", va - vb));
+    }
+    out.push_str(&format!(
+        "{:<14} {:>14.1} {:>14.1} {:>12.1}\n",
+        "wall", a.wall_us, b.wall_us, a.wall_us - b.wall_us
+    ));
+    out.push_str(&format!(
+        "{:<14} {:>13.1}% {:>13.1}% {:>12}\n",
+        "path coverage",
+        a.critical_path.coverage() * 100.0,
+        b.critical_path.coverage() * 100.0,
+        ""
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::introspect::events::TraceEvent;
+
+    fn span(lane: usize, kind: EventKind, t0: f64, t1: f64, arg: u64) -> TraceEvent {
+        TraceEvent { lane, kind, t_us: t0, dur_us: Some(t1 - t0), arg }
+    }
+
+    fn instant(lane: usize, kind: EventKind, t: f64, arg: u64) -> TraceEvent {
+        TraceEvent { lane, kind, t_us: t, dur_us: None, arg }
+    }
+
+    #[test]
+    fn nested_help_execution_splits_exposed_and_hidden() {
+        // Lane 0: TaskRun [0,100] containing FutureWait [20,60]
+        // containing a help-executed TaskRun [30,40].
+        let t = Trace::from_parts(
+            2,
+            vec![
+                span(0, EventKind::TaskRun, 0.0, 100.0, 0),
+                span(0, EventKind::FutureWait, 20.0, 60.0, 0),
+                span(0, EventKind::TaskRun, 30.0, 40.0, 0),
+            ],
+            0,
+        );
+        let a = analyze(&[(0, t)]);
+        let l = &a.lanes[0];
+        assert!(!l.truncated);
+        assert!((l.compute_us - 70.0).abs() < 0.01, "outer 60 + inner 10: {}", l.compute_us);
+        assert!((l.exposed_wait_us - 30.0).abs() < 0.01, "wait minus helped: {}", l.exposed_wait_us);
+        assert!((l.hidden_wait_us - 10.0).abs() < 0.01, "{}", l.hidden_wait_us);
+        assert!((l.idle_us - 0.0).abs() < 0.01);
+        assert!(l.conservation_error() < 1e-6, "{}", l.conservation_error());
+        // Lane 1 (external, empty) is all idle and still conserves.
+        assert!((a.lanes[1].idle_us - 100.0).abs() < 0.01);
+        assert!(a.lanes[1].conservation_error() < 1e-6);
+    }
+
+    #[test]
+    fn critical_path_chains_across_lanes() {
+        // Lane 0 computes [0,50], lane 1 starts right after [50,100]:
+        // the chain must include both and cover the whole window.
+        let t = Trace::from_parts(
+            3,
+            vec![
+                span(0, EventKind::TaskRun, 0.0, 50.0, 0),
+                span(1, EventKind::TaskRun, 50.0, 100.0, 0),
+            ],
+            0,
+        );
+        let a = analyze(&[(0, t)]);
+        let cp = &a.critical_path;
+        assert_eq!(cp.segments.len(), 2);
+        assert_eq!(cp.segments[0].lane, 0);
+        assert_eq!(cp.segments[1].lane, 1);
+        assert!((cp.covered_us - 100.0).abs() < 0.01);
+        assert!(cp.coverage() > 0.99);
+        assert_eq!(cp.by_kind[0].0, "task-run");
+    }
+
+    #[test]
+    fn park_segments_never_carry_the_path() {
+        let t = Trace::from_parts(
+            2,
+            vec![
+                span(0, EventKind::TaskRun, 0.0, 40.0, 0),
+                span(1, EventKind::Park, 0.0, 100.0, 0),
+            ],
+            0,
+        );
+        let a = analyze(&[(0, t)]);
+        assert!(a.critical_path.segments.iter().all(|s| s.kind != EventKind::Park));
+    }
+
+    #[test]
+    fn truncated_lane_is_flagged_not_fatal() {
+        // Partially overlapping spans (an orphaned pair after ring
+        // drops): attribution degrades gracefully.
+        let t = Trace::from_parts(
+            1,
+            vec![
+                span(0, EventKind::TaskRun, 0.0, 50.0, 0),
+                span(0, EventKind::FutureWait, 30.0, 80.0, 0),
+            ],
+            5,
+        );
+        let a = analyze(&[(0, t)]);
+        assert!(a.lanes[0].truncated);
+        assert_eq!(a.dropped, 5);
+        assert!(a.lanes[0].compute_us > 0.0);
+    }
+
+    #[test]
+    fn parcel_sends_match_receives_fifo_per_action() {
+        let t = Trace::from_parts(
+            2,
+            vec![
+                instant(0, EventKind::ParcelSend, 0.0, 7),
+                instant(0, EventKind::ParcelSend, 10.0, 7),
+                span(1, EventKind::ParcelRecv, 400.0, 410.0, 7),
+                span(1, EventKind::ParcelRecv, 415.0, 420.0, 7),
+                instant(0, EventKind::ParcelSend, 1.0, 9), // never received
+            ],
+            0,
+        );
+        let a = analyze(&[(0, t)]);
+        assert_eq!(a.parcels.matched, 2);
+        assert_eq!(a.parcels.unmatched_sends, 1);
+        assert!((a.parcels.mean_us - 402.5).abs() < 0.01, "{}", a.parcels.mean_us);
+        let h = parcel_flight_histogram(&[(0, {
+            Trace::from_parts(
+                2,
+                vec![
+                    instant(0, EventKind::ParcelSend, 0.0, 7),
+                    span(1, EventKind::ParcelRecv, 400.0, 410.0, 7),
+                ],
+                0,
+            )
+        })]);
+        assert_eq!(h.count(), 1);
+        assert!(h.value_at_quantile(1.0) >= 400_000);
+    }
+
+    #[test]
+    fn report_renders_every_section() {
+        let t = Trace::from_parts(
+            2,
+            vec![
+                span(0, EventKind::TaskRun, 0.0, 50.0, 0),
+                span(0, EventKind::FutureWait, 60.0, 90.0, 0),
+                instant(0, EventKind::Steal, 5.0, 1),
+            ],
+            0,
+        );
+        let a = analyze(&[(0, t)]);
+        let r = render_report(&a);
+        for needle in ["attribution", "critical path", "parcels:", "worker#0", "external"] {
+            assert!(r.contains(needle), "missing {needle:?} in:\n{r}");
+        }
+        let d = diff_report("native", &a, "sim", &a);
+        for needle in ["compute", "exposed-wait", "wall", "native", "sim"] {
+            assert!(d.contains(needle), "missing {needle:?} in:\n{d}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_analyzes_to_zeroes() {
+        let t = Trace::from_parts(1, vec![], 0);
+        let a = analyze(&[(0, t)]);
+        assert_eq!(a.wall_us, 0.0);
+        assert!(a.critical_path.segments.is_empty());
+        assert_eq!(a.parcels.matched, 0);
+        assert!(a.max_conservation_error() < 1e-9);
+    }
+}

@@ -313,13 +313,18 @@ impl SampleSeries {
     }
 
     /// Per-interval rate (events per second) of the counter at `path`,
-    /// as `(t_us of interval end, rate)` pairs.
+    /// as `(t_us of interval end, rate)` pairs. Zero-width, reversed or
+    /// non-finite intervals (duplicate or garbage timestamps, as a
+    /// simulator emitting snapshots might produce) are skipped rather
+    /// than yielding NaN/Inf rates.
     pub fn rates(&self, path: &CounterPath) -> Vec<(f64, f64)> {
         self.samples
             .windows(2)
             .filter_map(|w| {
                 let dt_s = (w[1].t_us - w[0].t_us) / 1e6;
-                if dt_s <= 0.0 {
+                // NaN fails every comparison, so test finiteness
+                // explicitly: `dt_s <= 0.0` alone lets NaN through.
+                if !dt_s.is_finite() || dt_s <= 0.0 {
                     return None;
                 }
                 let dv = w[1].get(path)?.saturating_sub(w[0].get(path)?);
@@ -427,6 +432,33 @@ mod tests {
         let mut sorted = paths.clone();
         sorted.sort();
         assert_eq!(paths, sorted, "merged snapshot is path-sorted");
+    }
+
+    #[test]
+    fn rates_skip_degenerate_intervals() {
+        let path = CounterPath::new("threads", 0, Instance::Total, "count/x");
+        let snap = |t_us: f64, v: u64| {
+            CounterSnapshot::from_entries(t_us, vec![(path.clone(), v)])
+        };
+        // Duplicate timestamps (zero width), reversed time, and
+        // non-finite timestamps must all be skipped — no NaN/Inf rates.
+        let series = SampleSeries {
+            samples: vec![
+                snap(0.0, 0),
+                snap(1_000_000.0, 10),    // ok: 10/s
+                snap(1_000_000.0, 20),    // zero-width
+                snap(500_000.0, 30),      // reversed
+                snap(f64::NAN, 40),       // NaN start of next window too
+                snap(2_000_000.0, 50),    // window starts at NaN -> skipped
+                snap(3_000_000.0, 60),    // ok: 10/s
+            ],
+        };
+        let rates = series.rates(&path);
+        assert_eq!(rates.len(), 2, "only the two clean intervals: {rates:?}");
+        for (t, r) in &rates {
+            assert!(t.is_finite() && r.is_finite(), "finite: ({t}, {r})");
+            assert!((r - 10.0).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! Prometheus-text-format exposition of counter snapshots over a
+//! std-only TCP endpoint.
+//!
+//! The registry crates (prometheus, hyper, …) are unreachable in this
+//! build environment, and the exposition format is deliberately simple:
+//! one `name{labels} value` line per sample, `# HELP`/`# TYPE` comment
+//! lines per family, text/plain. [`prometheus_text`] renders a
+//! [`CounterSnapshot`] (which already carries every registered counter,
+//! including the latency-histogram quantile probes) into that format,
+//! and [`MetricsServer`] serves it from a plain [`std::net::TcpListener`]
+//! with a one-thread accept loop — enough for a scrape target, with no
+//! new dependencies. [`validate_prometheus_text`] is the test-side
+//! parser used to keep the output format honest.
+//!
+//! HPX counter paths map onto families and labels as
+//! `/threads{locality#0/worker#3}/count/stolen` →
+//! `parallex_threads_count_stolen{locality="0",instance="worker#3"}`.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use super::counters::CounterSnapshot;
+
+/// Content-Type of the Prometheus text exposition format.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Sanitize a path fragment into a metric-name fragment:
+/// `[a-zA-Z0-9_]` passes through, everything else becomes `_`.
+fn sanitize(fragment: &str, out: &mut String) {
+    for c in fragment.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+}
+
+/// Metric family name for an HPX counter path: `parallex_<object>_<name>`
+/// with non-identifier characters folded to `_`.
+fn family_name(object: &str, name: &str) -> String {
+    let mut s = String::with_capacity(10 + object.len() + name.len());
+    s.push_str("parallex_");
+    sanitize(object, &mut s);
+    s.push('_');
+    sanitize(name, &mut s);
+    s
+}
+
+/// Render a counter snapshot in the Prometheus text exposition format.
+///
+/// Samples are grouped by family (Prometheus requires all samples of a
+/// metric to be consecutive), each family gets `# HELP` and `# TYPE`
+/// lines, and a constant `parallex_up 1` gauge is included so an empty
+/// registry still produces a scrapeable page. Counters whose HPX name
+/// contains a `count/` segment are typed `counter`; everything else
+/// (times, quantiles) is a `gauge`.
+pub fn prometheus_text(snapshot: &CounterSnapshot) -> String {
+    // family -> (original HPX name, is_counter, samples)
+    type Family = (String, bool, Vec<(String, u64)>);
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    for (path, value) in snapshot.iter() {
+        let family = family_name(&path.object, &path.name);
+        let labels = format!(
+            "locality=\"{}\",instance=\"{}\"",
+            path.locality, path.instance
+        );
+        let entry = families.entry(family).or_insert_with(|| {
+            (
+                format!("/{}{{...}}/{}", path.object, path.name),
+                path.name.contains("count"),
+                Vec::new(),
+            )
+        });
+        entry.2.push((labels, value));
+    }
+
+    let mut out = String::new();
+    out.push_str("# HELP parallex_up Whether the parallex runtime is serving metrics.\n");
+    out.push_str("# TYPE parallex_up gauge\n");
+    out.push_str("parallex_up 1\n");
+    for (family, (hpx, is_counter, samples)) in &families {
+        out.push_str(&format!("# HELP {family} HPX counter {hpx}\n"));
+        out.push_str(&format!(
+            "# TYPE {family} {}\n",
+            if *is_counter { "counter" } else { "gauge" }
+        ));
+        for (labels, value) in samples {
+            out.push_str(&format!("{family}{{{labels}}} {value}\n"));
+        }
+    }
+    out
+}
+
+/// Strict checker for the subset of the Prometheus text format this
+/// module emits. Returns the first offense, with its line number.
+///
+/// Checked per line: comments are well-formed `# HELP <name> <text>` /
+/// `# TYPE <name> <counter|gauge|histogram|summary|untyped>`; samples
+/// are `name{label="value",...} <float>` with a valid metric name and
+/// label syntax; every sample's family was TYPE-declared before use;
+/// all samples of a family are consecutive.
+pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
+    fn valid_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    fn valid_labels(s: &str) -> bool {
+        // `k="v",k2="v2"` — values may not contain unescaped `"`.
+        if s.is_empty() {
+            return true;
+        }
+        s.split(',').all(|pair| {
+            pair.split_once('=').is_some_and(|(k, v)| {
+                valid_name(k)
+                    && v.len() >= 2
+                    && v.starts_with('"')
+                    && v.ends_with('"')
+                    && !v[1..v.len() - 1].contains(['"', '\n'])
+            })
+        })
+    }
+
+    if !text.ends_with('\n') {
+        return Err("exposition must end with a newline".into());
+    }
+    let mut typed: Vec<String> = Vec::new();
+    let mut finished: Vec<String> = Vec::new();
+    let mut current: Option<String> = None;
+    for (i, line) in text.lines().enumerate() {
+        let ln = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim_start().splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            let rest = parts.next().unwrap_or("");
+            match keyword {
+                "HELP" => {
+                    if !valid_name(name) || rest.is_empty() {
+                        return Err(format!("line {ln}: malformed HELP: {line:?}"));
+                    }
+                }
+                "TYPE" => {
+                    if !valid_name(name)
+                        || !matches!(rest, "counter" | "gauge" | "histogram" | "summary" | "untyped")
+                    {
+                        return Err(format!("line {ln}: malformed TYPE: {line:?}"));
+                    }
+                    typed.push(name.to_string());
+                }
+                _ => return Err(format!("line {ln}: unknown comment keyword: {line:?}")),
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, value_part) = match line.split_once(' ') {
+            Some(x) => x,
+            None => return Err(format!("line {ln}: sample has no value: {line:?}")),
+        };
+        let (name, labels) = match name_part.split_once('{') {
+            Some((n, rest)) => match rest.strip_suffix('}') {
+                Some(l) => (n, l),
+                None => return Err(format!("line {ln}: unbalanced '{{' in {line:?}")),
+            },
+            None => (name_part, ""),
+        };
+        if !valid_name(name) {
+            return Err(format!("line {ln}: invalid metric name {name:?}"));
+        }
+        if !valid_labels(labels) {
+            return Err(format!("line {ln}: invalid labels {labels:?}"));
+        }
+        if value_part.trim().parse::<f64>().is_err() {
+            return Err(format!("line {ln}: invalid value {value_part:?}"));
+        }
+        if !typed.iter().any(|t| t == name) {
+            return Err(format!("line {ln}: sample {name:?} has no preceding TYPE"));
+        }
+        if current.as_deref() != Some(name) {
+            if finished.iter().any(|f| f == name) {
+                return Err(format!("line {ln}: family {name:?} is not consecutive"));
+            }
+            if let Some(prev) = current.take() {
+                finished.push(prev);
+            }
+            current = Some(name.to_string());
+        }
+    }
+    Ok(())
+}
+
+/// A minimal single-threaded HTTP scrape endpoint serving the render
+/// closure's output on `/metrics` (and `/`).
+///
+/// Binding is cheap and the accept loop runs on one named thread;
+/// [`stop`](MetricsServer::stop) (also invoked on drop) wakes the loop
+/// with a self-connection and joins it. Connections are handled
+/// serially — a scrape target needs no more.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// serve `render()` on every scrape.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        render: Arc<dyn Fn() -> String + Send + Sync>,
+    ) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = stop.clone();
+            thread::Builder::new()
+                .name("px-metrics".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        if let Ok(stream) = conn {
+                            let _ = handle_conn(stream, &render);
+                        }
+                    }
+                })?
+        };
+        Ok(MetricsServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join its thread. Idempotent.
+    pub fn stop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Release);
+            // Unblock accept(); the loop re-checks the flag first.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn handle_conn(
+    mut stream: TcpStream,
+    render: &Arc<dyn Fn() -> String + Send + Sync>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read the request head (we only need the request line; an 8 KiB
+    // cap bounds hostile input).
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, body) = match path.split('?').next().unwrap_or("/") {
+        "/" | "/metrics" => ("200 OK", render()),
+        _ => ("404 Not Found", "not found; scrape /metrics\n".to_string()),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {PROMETHEUS_CONTENT_TYPE}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::introspect::counters::{CounterPath, Instance};
+
+    fn sample_snapshot() -> CounterSnapshot {
+        CounterSnapshot::from_entries(
+            0.0,
+            vec![
+                (CounterPath::new("threads", 0, Instance::Total, "count/stolen"), 4),
+                (CounterPath::new("threads", 0, Instance::Worker(1), "count/stolen"), 3),
+                (CounterPath::new("threads", 1, Instance::Total, "count/stolen"), 9),
+                (CounterPath::new("latency", 0, Instance::Total, "task/p99"), 1800),
+                (CounterPath::new("threads", 0, Instance::Total, "time/busy-ns"), 123456),
+            ],
+        )
+    }
+
+    #[test]
+    fn rendered_snapshot_validates_and_groups_families() {
+        let text = prometheus_text(&sample_snapshot());
+        validate_prometheus_text(&text).expect("own output must validate");
+        assert!(text.contains("parallex_up 1\n"));
+        assert!(text.contains(
+            "parallex_threads_count_stolen{locality=\"0\",instance=\"worker#1\"} 3\n"
+        ));
+        assert!(text.contains("parallex_latency_task_p99{locality=\"0\",instance=\"total\"} 1800"));
+        // count/* families are counters, times/quantiles are gauges.
+        assert!(text.contains("# TYPE parallex_threads_count_stolen counter"));
+        assert!(text.contains("# TYPE parallex_latency_task_p99 gauge"));
+        assert!(text.contains("# TYPE parallex_threads_time_busy_ns gauge"));
+        // One TYPE line per family even with three samples.
+        assert_eq!(text.matches("# TYPE parallex_threads_count_stolen").count(), 1);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        for (bad, why) in [
+            ("parallex_up 1\n", "sample without TYPE"),
+            ("# TYPE parallex_up gauge\nparallex_up one\n", "non-numeric value"),
+            ("# TYPE parallex_up gauge\nparallex_up{bad 1\n", "unbalanced brace"),
+            ("# TYPE parallex_up gauge\nparallex_up{l=\"a} 1\n", "unterminated label"),
+            ("# TYPE 9bad gauge\n", "name starts with digit"),
+            ("# TYPE parallex_up wat\n", "unknown type"),
+            ("# NOPE parallex_up x\n", "unknown keyword"),
+            ("# TYPE parallex_up gauge\nparallex_up 1", "missing trailing newline"),
+            (
+                "# TYPE a gauge\n# TYPE b gauge\na 1\nb 2\na 3\n",
+                "family not consecutive",
+            ),
+        ] {
+            assert!(validate_prometheus_text(bad).is_err(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_still_scrapes_up() {
+        let text = prometheus_text(&CounterSnapshot::default());
+        validate_prometheus_text(&text).unwrap();
+        assert!(text.contains("parallex_up 1"));
+    }
+
+    #[test]
+    fn server_serves_metrics_and_404s_elsewhere() {
+        let render: Arc<dyn Fn() -> String + Send + Sync> =
+            Arc::new(|| prometheus_text(&sample_snapshot()));
+        let mut server = MetricsServer::bind("127.0.0.1:0", render).unwrap();
+        let addr = server.local_addr();
+
+        let scrape = |path: &str| -> (String, String) {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            let (head, body) = out.split_once("\r\n\r\n").expect("header/body split");
+            (head.to_string(), body.to_string())
+        };
+
+        let (head, body) = scrape("/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"));
+        validate_prometheus_text(&body).expect("served body validates");
+        assert!(body.contains("parallex_up 1"));
+
+        let (head, _) = scrape("/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        server.stop();
+        server.stop(); // idempotent
+        assert!(TcpStream::connect(addr).is_err() || {
+            // A TIME_WAIT race can still accept; but no thread serves it.
+            true
+        });
+    }
+}

@@ -1,0 +1,393 @@
+//! Mergeable log-bucketed latency histograms.
+//!
+//! HdrHistogram-style: values (nanoseconds) land in logarithmic buckets
+//! with [`SUB_BITS`] bits of sub-bucket precision per octave, so any
+//! recorded value is representable within a relative error of
+//! `2^-SUB_BITS` (≈ 3.1%). Recording is one relaxed `fetch_add` on an
+//! `AtomicU64` — cheap enough to leave on in production — and merging is
+//! element-wise addition, which is associative and commutative, so
+//! per-worker histograms combine into per-locality and cluster-wide
+//! views in any order ([`LatencyHistogram::merge_from`]).
+//!
+//! [`LatencySet`] bundles one histogram per (channel × lane): each
+//! worker records into its own lane without contention, mirroring the
+//! tracer's lane layout (workers + 1 external lane). The runtime feeds
+//! four channels — task latency, steal latency, future-wait and parcel
+//! RTT — and registers their quantiles as HPX-path counters
+//! (`/latency{locality#0/worker#3}/task/p99`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket precision bits: 2^5 = 32 sub-buckets per octave, bounding
+/// the relative quantile error at 1/32 ≈ 3.1%.
+pub const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS;
+/// Bucket count covering the full `u64` value range at `SUB_BITS`
+/// precision: 32 exact unit buckets plus 32 sub-buckets for each of the
+/// 59 remaining octaves.
+pub const NUM_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+/// Bucket index of `v`: exact below `SUB`, logarithmic with `SUB`
+/// sub-buckets per octave above.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    let msb = 63 - (v | 1).leading_zeros();
+    if msb < SUB_BITS {
+        v as usize
+    } else {
+        let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        (msb - SUB_BITS + 1) as usize * SUB + sub
+    }
+}
+
+/// Lowest value mapping to bucket `idx`.
+fn bucket_low(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let octave = (idx / SUB) as u32; // >= 1
+    let msb = octave + SUB_BITS - 1;
+    let sub = (idx % SUB) as u64;
+    (1u64 << msb) + (sub << (msb - SUB_BITS))
+}
+
+/// Highest value mapping to bucket `idx` (the "highest equivalent
+/// value" reported for quantiles, giving a one-sided error bound).
+fn bucket_high(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let msb = (idx / SUB) as u32 + SUB_BITS - 1;
+    bucket_low(idx) + (1u64 << (msb - SUB_BITS)) - 1
+}
+
+/// A lock-free log-bucketed histogram of `u64` values (nanoseconds by
+/// convention). Concurrent `record` calls are safe; reads are
+/// best-effort snapshots (exact once writers quiesce).
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record one value. One relaxed `fetch_add`; never allocates.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the highest equivalent value
+    /// of the bucket where the cumulative count reaches `ceil(q *
+    /// count)`. Within `2^-SUB_BITS` relative error of the true
+    /// quantile; 0 for an empty histogram.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_high(idx);
+            }
+        }
+        bucket_high(NUM_BUCKETS - 1)
+    }
+
+    /// Bucket-midpoint-weighted mean (within bucket resolution of the
+    /// true mean); 0.0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        let mut n = 0u64;
+        let mut sum = 0.0f64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                n += c;
+                sum += c as f64 * (bucket_low(idx) as f64 + bucket_high(idx) as f64) / 2.0;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Highest equivalent value of the top non-empty bucket.
+    pub fn max_value(&self) -> u64 {
+        for idx in (0..NUM_BUCKETS).rev() {
+            if self.buckets[idx].load(Ordering::Relaxed) > 0 {
+                return bucket_high(idx);
+            }
+        }
+        0
+    }
+
+    /// Add every bucket of `other` into `self`. Element-wise addition:
+    /// associative and commutative, so distributed merge trees produce
+    /// identical results regardless of shape.
+    pub fn merge_from(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = theirs.load(Ordering::Relaxed);
+            if v > 0 {
+                mine.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The merge of several histograms, as a new histogram.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a LatencyHistogram>) -> LatencyHistogram {
+        let out = LatencyHistogram::new();
+        for p in parts {
+            out.merge_from(p);
+        }
+        out
+    }
+
+    /// Snapshot of all bucket counts (for equality checks and tests).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+}
+
+/// Latency channels the runtime records into a [`LatencySet`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LatencyChannel {
+    /// Wall time of one task execution.
+    Task,
+    /// Time a successful steal spent probing victims.
+    Steal,
+    /// Time blocked on an LCO (includes help-executed work).
+    FutureWait,
+    /// Round-trip time of a response-carrying parcel.
+    ParcelRtt,
+}
+
+impl LatencyChannel {
+    /// Every channel, in registration order.
+    pub const ALL: [LatencyChannel; 4] = [
+        LatencyChannel::Task,
+        LatencyChannel::Steal,
+        LatencyChannel::FutureWait,
+        LatencyChannel::ParcelRtt,
+    ];
+
+    /// Stable name used in counter paths (`/latency{...}/task/p99`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            LatencyChannel::Task => "task",
+            LatencyChannel::Steal => "steal",
+            LatencyChannel::FutureWait => "future-wait",
+            LatencyChannel::ParcelRtt => "parcel-rtt",
+        }
+    }
+}
+
+const CHANNELS: usize = LatencyChannel::ALL.len();
+
+/// Per-lane histogram bundle: one [`LatencyHistogram`] per (channel ×
+/// lane), laid out like the tracer's lanes (one per worker plus one
+/// external lane), so each worker records without touching another
+/// worker's cache lines.
+pub struct LatencySet {
+    lanes: Vec<[LatencyHistogram; CHANNELS]>,
+}
+
+impl LatencySet {
+    /// A set with `lanes` lanes (at least one).
+    pub fn new(lanes: usize) -> LatencySet {
+        LatencySet {
+            lanes: (0..lanes.max(1)).map(|_| std::array::from_fn(|_| LatencyHistogram::new())).collect(),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Record `value_ns` on `lane` (clamped to the last lane, which
+    /// collects non-worker threads, mirroring the tracer).
+    #[inline]
+    pub fn record(&self, channel: LatencyChannel, lane: usize, value_ns: u64) {
+        let lane = lane.min(self.lanes.len() - 1);
+        self.lanes[lane][channel as usize].record(value_ns);
+    }
+
+    /// One lane's histogram for `channel`.
+    pub fn lane(&self, channel: LatencyChannel, lane: usize) -> &LatencyHistogram {
+        &self.lanes[lane.min(self.lanes.len() - 1)][channel as usize]
+    }
+
+    /// The merge of every lane's histogram for `channel`.
+    pub fn merged(&self, channel: LatencyChannel) -> LatencyHistogram {
+        LatencyHistogram::merged(self.lanes.iter().map(|l| &l[channel as usize]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SplitMix64: deterministic value streams without a rand dep.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn index_and_bounds_are_consistent() {
+        // Exhaustive below the exact range, spot checks across octaves,
+        // and the extremes.
+        let mut probes: Vec<u64> = (0..1024).collect();
+        let mut rng = Rng(7);
+        probes.extend((0..10_000).map(|_| rng.next()));
+        probes.extend([u64::MAX, u64::MAX - 1, 1 << 63, (1 << 63) - 1]);
+        for v in probes {
+            let idx = bucket_index(v);
+            assert!(idx < NUM_BUCKETS, "v={v} idx={idx}");
+            assert!(bucket_low(idx) <= v && v <= bucket_high(idx),
+                "v={v} not in [{}, {}] (idx {idx})", bucket_low(idx), bucket_high(idx));
+        }
+        // Buckets tile the value range without gaps.
+        for idx in 0..NUM_BUCKETS - 1 {
+            assert_eq!(bucket_high(idx) + 1, bucket_low(idx + 1), "gap after bucket {idx}");
+        }
+        assert_eq!(bucket_high(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = LatencyHistogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        for q in [0.0, 0.5, 1.0] {
+            let v = h.value_at_quantile(q);
+            assert!(v < 32, "exact range: q={q} -> {v}");
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.value_at_quantile(1.0), 31);
+    }
+
+    fn random_hist(seed: u64, n: usize) -> (LatencyHistogram, Vec<u64>) {
+        let h = LatencyHistogram::new();
+        let mut rng = Rng(seed);
+        let mut vals = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Mixed magnitudes: exercise several octaves.
+            let v = rng.next() % (1 << (8 + (rng.next() % 24)));
+            h.record(v);
+            vals.push(v);
+        }
+        (h, vals)
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let (a, _) = random_hist(1, 5_000);
+        let (b, _) = random_hist(2, 3_000);
+        let (c, _) = random_hist(3, 7_000);
+
+        // (a ⊕ b) ⊕ c
+        let ab = LatencyHistogram::merged([&a, &b]);
+        let ab_c = LatencyHistogram::merged([&ab, &c]);
+        // a ⊕ (b ⊕ c)
+        let bc = LatencyHistogram::merged([&b, &c]);
+        let a_bc = LatencyHistogram::merged([&a, &bc]);
+        assert_eq!(ab_c.bucket_counts(), a_bc.bucket_counts(), "associative");
+
+        // a ⊕ b == b ⊕ a
+        let ba = LatencyHistogram::merged([&b, &a]);
+        assert_eq!(ab.bucket_counts(), ba.bucket_counts(), "commutative");
+
+        assert_eq!(ab_c.count(), a.count() + b.count() + c.count());
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_resolution() {
+        let (h, mut vals) = random_hist(42, 50_000);
+        vals.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let true_q = vals[(((q * vals.len() as f64).ceil() as usize).max(1) - 1).min(vals.len() - 1)];
+            let got = h.value_at_quantile(q);
+            // The reported value is the top of the true value's bucket:
+            // never below the true quantile, and at most one bucket width
+            // (2^-SUB_BITS relative) above it.
+            assert!(got >= true_q, "q={q}: {got} < true {true_q}");
+            let bound = true_q as f64 * (1.0 + 1.0 / SUB as f64) + 1.0;
+            assert!((got as f64) <= bound, "q={q}: {got} vs true {true_q} (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn mean_tracks_true_mean() {
+        let (h, vals) = random_hist(9, 20_000);
+        let true_mean = vals.iter().map(|&v| v as f64).sum::<f64>() / vals.len() as f64;
+        let got = h.mean();
+        assert!((got - true_mean).abs() / true_mean < 1.0 / SUB as f64 + 1e-3,
+            "mean {got} vs true {true_mean}");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.value_at_quantile(0.99), 0);
+        assert_eq!(h.max_value(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.value_at_quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn latency_set_records_per_lane_and_merges() {
+        let set = LatencySet::new(3);
+        set.record(LatencyChannel::Task, 0, 100);
+        set.record(LatencyChannel::Task, 1, 200);
+        set.record(LatencyChannel::Steal, 1, 300);
+        set.record(LatencyChannel::Task, 99, 400); // clamps to last lane
+        assert_eq!(set.lane(LatencyChannel::Task, 0).count(), 1);
+        assert_eq!(set.lane(LatencyChannel::Task, 2).count(), 1);
+        assert_eq!(set.merged(LatencyChannel::Task).count(), 3);
+        assert_eq!(set.merged(LatencyChannel::Steal).count(), 1);
+        assert_eq!(set.merged(LatencyChannel::FutureWait).count(), 0);
+    }
+}

@@ -9,7 +9,9 @@
 
 use crate::agas::{AgasService, ComponentStore, Gid, MigrationRegistry};
 use crate::error::{Error, Result};
-use crate::introspect::{CounterSnapshot, EventKind, Trace};
+use crate::introspect::{
+    prometheus_text, CounterSnapshot, EventKind, LatencyChannel, MetricsServer, Trace,
+};
 use crate::lcos::future::{Future, Promise};
 use crate::parcel::{
     serialize, ActionFn, ActionId, ActionRegistry, DelayFn, Parcel, TimerWheel, RESPONSE_ACTION,
@@ -26,13 +28,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
+/// An outstanding request's promise plus its send time (completing the
+/// parcel-RTT latency histogram on response).
+type PendingRequest = (Promise<Vec<u8>>, std::time::Instant);
+
 /// One simulated node: runtime + component store + parcel endpoints.
 pub struct Locality {
     id: u32,
     runtime: Runtime,
     components: ComponentStore,
     cluster: RwLock<Weak<ClusterShared>>,
-    pending: Mutex<HashMap<u64, Promise<Vec<u8>>>>,
+    /// Outstanding request promises by token, with their send time so
+    /// the response completes the parcel-RTT latency histogram.
+    pending: Mutex<HashMap<u64, PendingRequest>>,
     next_token: AtomicU64,
 }
 
@@ -101,7 +109,9 @@ impl Locality {
         let token = self.next_token.fetch_add(1, Ordering::Relaxed);
         let mut promise = self.runtime.make_promise();
         let future = promise.future();
-        self.pending.lock().insert(token, promise);
+        self.pending
+            .lock()
+            .insert(token, (promise, std::time::Instant::now()));
         let parcel = Parcel {
             source: self.id,
             dest_locality,
@@ -131,7 +141,18 @@ impl Locality {
 
     fn complete_response(&self, token: u64, result: std::result::Result<Vec<u8>, String>) {
         let promise = self.pending.lock().remove(&token);
-        if let Some(p) = promise {
+        if let Some((p, sent_at)) = promise {
+            // Request → response round-trip as observed by the caller's
+            // locality, recorded on the completing thread's lane.
+            let lane = self
+                .runtime
+                .current_worker()
+                .unwrap_or_else(|| self.runtime.workers());
+            self.runtime.latency_histograms().record(
+                LatencyChannel::ParcelRtt,
+                lane,
+                sent_at.elapsed().as_nanos() as u64,
+            );
             match result {
                 Ok(bytes) => p.set_value(bytes),
                 Err(msg) => p.set_error(Error::RemoteError(msg)),
@@ -510,13 +531,38 @@ impl Cluster {
 
     /// Stop tracing everywhere and return `(locality id, trace)` pairs,
     /// ready for [`crate::introspect::chrome_trace_json`] (which aligns
-    /// the per-runtime epochs onto one timeline).
+    /// the per-runtime epochs onto one timeline) or
+    /// [`crate::introspect::analyze`].
     pub fn stop_trace(&self) -> Vec<(u32, Trace)> {
         self.shared
             .localities
             .iter()
             .map(|l| (l.id, l.runtime.tracer().stop()))
             .collect()
+    }
+
+    /// Serve the merged cluster-wide counter snapshot (all localities,
+    /// including latency quantiles) in Prometheus text format. The
+    /// closure captures only the counter registries, so the endpoint
+    /// does not keep worker threads alive beyond the cluster itself.
+    pub fn serve_metrics<A: std::net::ToSocketAddrs>(
+        &self,
+        addr: A,
+    ) -> std::io::Result<MetricsServer> {
+        let registries: Vec<_> = self
+            .shared
+            .localities
+            .iter()
+            .map(|l| l.runtime.counter_registry().clone())
+            .collect();
+        MetricsServer::bind(
+            addr,
+            Arc::new(move || {
+                prometheus_text(&CounterSnapshot::merge(
+                    registries.iter().map(|r| r.snapshot()),
+                ))
+            }),
+        )
     }
 }
 

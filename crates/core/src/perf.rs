@@ -144,6 +144,46 @@ pub(crate) fn register_runtime_counters(registry: &CounterRegistry, locality: u3
             move || c.worker_stats[w].busy_ns.load(Ordering::Relaxed),
         );
     }
+    // Latency-histogram probes (nanoseconds): locality-total p50/p99 and
+    // sample count for every channel, plus per-worker task quantiles —
+    // the `/latency{locality#L/worker#W}/task/p99` paths.
+    for ch in crate::introspect::LatencyChannel::ALL {
+        for (qname, q) in [("p50", 0.5), ("p99", 0.99)] {
+            let c = core.clone();
+            registry.register(
+                CounterPath::new(
+                    "latency",
+                    locality,
+                    Instance::Total,
+                    format!("{}/{qname}", ch.name()),
+                ),
+                move || c.latency.merged(ch).value_at_quantile(q),
+            );
+        }
+        let c = core.clone();
+        registry.register(
+            CounterPath::new(
+                "latency",
+                locality,
+                Instance::Total,
+                format!("{}/count", ch.name()),
+            ),
+            move || c.latency.merged(ch).count(),
+        );
+    }
+    for w in 0..core.worker_stats.len() {
+        for (qname, q) in [("p50", 0.5), ("p99", 0.99)] {
+            let c = core.clone();
+            registry.register(
+                CounterPath::new("latency", locality, Instance::Worker(w), format!("task/{qname}")),
+                move || {
+                    c.latency
+                        .lane(crate::introspect::LatencyChannel::Task, w)
+                        .value_at_quantile(q)
+                },
+            );
+        }
+    }
 }
 
 impl Snapshot {
@@ -289,8 +329,40 @@ mod tests {
             "worker stats include panicked tasks too: {per_worker} vs {}",
             flat.tasks_executed
         );
-        // 12 totals + 2 per worker
-        assert_eq!(snap.len(), 12 + 2 * rt.workers());
+        // 12 flat totals + 12 latency totals (4 channels × p50/p99/count)
+        // + per worker: 2 thread stats and 2 task-latency quantiles
+        assert_eq!(snap.len(), 24 + 4 * rt.workers());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn latency_counters_populate_after_work() {
+        use crate::introspect::{CounterPath, Instance};
+        let rt = crate::runtime::Runtime::builder().worker_threads(2).build();
+        for _ in 0..50 {
+            rt.spawn(|| {
+                std::hint::black_box((0..100).sum::<u64>());
+            });
+        }
+        rt.wait_idle();
+        let snap = rt.counter_snapshot();
+        let count = snap
+            .get(&CounterPath::new("latency", 0, Instance::Total, "task/count"))
+            .unwrap();
+        assert!(count >= 50, "every task records a latency sample: {count}");
+        let p50 = snap
+            .get(&CounterPath::new("latency", 0, Instance::Total, "task/p50"))
+            .unwrap();
+        let p99 = snap
+            .get(&CounterPath::new("latency", 0, Instance::Total, "task/p99"))
+            .unwrap();
+        assert!(p50 > 0 && p99 >= p50, "quantiles ordered: p50={p50} p99={p99}");
+        // Per-worker task quantiles exist for every worker.
+        for w in 0..rt.workers() {
+            assert!(snap
+                .get(&CounterPath::new("latency", 0, Instance::Worker(w), "task/p99"))
+                .is_some());
+        }
         rt.shutdown();
     }
 }

@@ -9,7 +9,10 @@
 //! busy while user code blocks on LCOs (the "increased asynchrony" the
 //! paper's Section III-A credits for resource utilization).
 
-use crate::introspect::{CounterRegistry, CounterSnapshot, EventKind, Tracer};
+use crate::introspect::{
+    prometheus_text, CounterRegistry, CounterSnapshot, EventKind, LatencyChannel, LatencySet,
+    MetricsServer, Tracer,
+};
 use crate::lcos::future::{Future, Promise};
 use crate::perf::{Counters, WorkerStat};
 use crate::sched::{Scheduler, SchedulerPolicy};
@@ -48,6 +51,9 @@ pub(crate) struct Core {
     /// Structured event recorder shared with the scheduler and the
     /// legacy `TaskTrace` facade.
     pub(crate) tracer: Arc<Tracer>,
+    /// Always-on per-worker latency histograms (task, steal,
+    /// future-wait, parcel-RTT), shared with the scheduler and cluster.
+    pub(crate) latency: Arc<LatencySet>,
 }
 
 impl Core {
@@ -60,6 +66,11 @@ impl Core {
         let result = catch_unwind(AssertUnwindSafe(|| task.run()));
         let end = std::time::Instant::now();
         self.tracer.span(worker, EventKind::TaskRun, start, end, 0);
+        self.latency.record(
+            LatencyChannel::Task,
+            worker,
+            end.duration_since(start).as_nanos() as u64,
+        );
         if let Some(ws) = self.worker_stats.get(worker) {
             ws.tasks_executed.fetch_add(1, Ordering::Relaxed);
             ws.busy_ns
@@ -119,9 +130,10 @@ pub(crate) fn help_until(core: Option<&Arc<Core>>, mut done: impl FnMut() -> boo
     if done() {
         return;
     }
-    // Record the blocking wait as a FutureWait span (help-executed tasks
-    // nest inside it). Costs one atomic load when tracing is off.
-    let trace_start = core.and_then(|c| c.tracer.is_enabled().then(std::time::Instant::now));
+    // Time the blocking wait: it always feeds the future-wait latency
+    // histogram and becomes a FutureWait span when tracing is on
+    // (help-executed tasks nest inside it).
+    let t0 = core.map(|_| std::time::Instant::now());
     let ctx = core.and_then(current_worker_on);
     let lane = ctx.as_ref().map(|c| c.index);
     match ctx {
@@ -153,10 +165,15 @@ pub(crate) fn help_until(core: Option<&Arc<Core>>, mut done: impl FnMut() -> boo
             }
         }
     }
-    if let (Some(core), Some(t0)) = (core, trace_start) {
+    if let (Some(core), Some(t0)) = (core, t0) {
+        let end = std::time::Instant::now();
         let lane = lane.unwrap_or_else(|| core.tracer.external_lane());
-        core.tracer
-            .span(lane, EventKind::FutureWait, t0, std::time::Instant::now(), 0);
+        core.latency.record(
+            LatencyChannel::FutureWait,
+            lane,
+            end.duration_since(t0).as_nanos() as u64,
+        );
+        core.tracer.span(lane, EventKind::FutureWait, t0, end, 0);
     }
 }
 
@@ -231,6 +248,9 @@ impl RuntimeBuilder {
         let topology = Topology::uniform(self.workers, self.numa_domains.min(self.workers));
         // One lane per worker plus one for external (non-worker) threads.
         let tracer = Arc::new(Tracer::with_capacity(self.workers + 1, self.trace_capacity));
+        // Histogram lanes mirror the tracer's: one per worker plus one
+        // external lane for non-worker threads.
+        let latency = Arc::new(LatencySet::new(self.workers + 1));
         let core = Arc::new(Core {
             sched: Scheduler::with_topology(self.workers, self.policy, &topology),
             outstanding: AtomicUsize::new(0),
@@ -239,8 +259,10 @@ impl RuntimeBuilder {
             counters: Counters::default(),
             worker_stats: (0..self.workers).map(|_| WorkerStat::default()).collect(),
             tracer: tracer.clone(),
+            latency: latency.clone(),
         });
         core.sched.attach_tracer(tracer.clone());
+        core.sched.attach_latency(latency);
         let registry = Arc::new(CounterRegistry::new());
         crate::perf::register_runtime_counters(&registry, self.locality, &core);
         let threads = (0..self.workers)
@@ -403,6 +425,26 @@ impl Runtime {
     /// trace pids (0 unless set by a cluster).
     pub fn locality_id(&self) -> u32 {
         self.inner.locality
+    }
+
+    /// The always-on mergeable latency histograms (task, steal,
+    /// future-wait, parcel-RTT), one lane per worker plus an external
+    /// lane. Quantiles are also registered as `/latency{...}` counters.
+    pub fn latency_histograms(&self) -> &Arc<LatencySet> {
+        &self.inner.core.latency
+    }
+
+    /// Serve this runtime's counter registry (including latency
+    /// quantiles) in Prometheus text format on a std-only TCP listener.
+    /// Bind `"127.0.0.1:0"` for an ephemeral port and read it back with
+    /// [`MetricsServer::local_addr`]; the endpoint stops when the
+    /// returned server is dropped or [`MetricsServer::stop`]ped.
+    pub fn serve_metrics<A: std::net::ToSocketAddrs>(
+        &self,
+        addr: A,
+    ) -> std::io::Result<MetricsServer> {
+        let registry = self.inner.registry.clone();
+        MetricsServer::bind(addr, Arc::new(move || prometheus_text(&registry.snapshot())))
     }
 
     pub(crate) fn core(&self) -> &Arc<Core> {

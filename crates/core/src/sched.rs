@@ -33,7 +33,7 @@
 //! wakeups, an idle one burns ~0% CPU, and a pinned task can never be
 //! stranded by its wakeup going to a worker that cannot acquire it.
 
-use crate::introspect::{EventKind, Tracer};
+use crate::introspect::{EventKind, LatencyChannel, LatencySet, Tracer};
 use crate::task::{Priority, ScheduleHint, Task};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
 use crossbeam::queue::SegQueue;
@@ -219,6 +219,9 @@ pub struct Scheduler {
     /// events). Standalone schedulers (tests, benches) have none; the
     /// check is one acquire load, and a no-op when tracing is disabled.
     tracer: OnceLock<Arc<Tracer>>,
+    /// Latency histograms attached by the owning runtime (steal-latency
+    /// channel). Standalone schedulers (tests, benches) have none.
+    latency: OnceLock<Arc<LatencySet>>,
     shutdown: AtomicBool,
 }
 
@@ -260,6 +263,7 @@ impl Scheduler {
             stat_parks: AtomicUsize::new(0),
             stat_wakes: AtomicUsize::new(0),
             tracer: OnceLock::new(),
+            latency: OnceLock::new(),
             shutdown: AtomicBool::new(false),
         }
     }
@@ -267,6 +271,12 @@ impl Scheduler {
     /// Attach the runtime's event tracer (idempotent; first caller wins).
     pub(crate) fn attach_tracer(&self, tracer: Arc<Tracer>) {
         let _ = self.tracer.set(tracer);
+    }
+
+    /// Attach the runtime's latency histograms (idempotent; first
+    /// caller wins). Steal latencies are recorded into their channel.
+    pub(crate) fn attach_latency(&self, latency: Arc<LatencySet>) {
+        let _ = self.latency.set(latency);
     }
 
     /// The attached tracer, if any and currently recording.
@@ -499,6 +509,11 @@ impl Scheduler {
         if self.policy == SchedulerPolicy::Static {
             return None;
         }
+        // Time the victim walk only when someone consumes the number
+        // (histograms attached or tracing on), so standalone schedulers
+        // in benches pay nothing for the clock.
+        let t0 = (self.latency.get().is_some() || self.tracer_if_enabled().is_some())
+            .then(std::time::Instant::now);
         for &victim in &self.steal_order[thief] {
             self.stat_steal_attempts.fetch_add(1, Ordering::Relaxed);
             let vq = &self.queues[victim];
@@ -513,8 +528,20 @@ impl Scheduler {
                 if dest.is_some() {
                     self.stat_steal_batches.fetch_add(1, Ordering::Relaxed);
                 }
-                if let Some(t) = self.tracer_if_enabled() {
-                    t.instant(thief, EventKind::Steal, victim as u64);
+                if let Some(t0) = t0 {
+                    let end = std::time::Instant::now();
+                    if let Some(lat) = self.latency.get() {
+                        lat.record(
+                            LatencyChannel::Steal,
+                            thief,
+                            end.duration_since(t0).as_nanos() as u64,
+                        );
+                    }
+                    // A span (probe walk → success), not an instant: the
+                    // attribution engine charges steal time to the thief.
+                    if let Some(t) = self.tracer_if_enabled() {
+                        t.span(thief, EventKind::Steal, t0, end, victim as u64);
+                    }
                 }
                 return got;
             }

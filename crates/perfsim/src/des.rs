@@ -57,6 +57,17 @@ pub struct DesResult {
     pub busy_ns: Vec<f64>,
     /// Tasks executed per core.
     pub tasks_run: Vec<usize>,
+    /// Ground-truth critical path, nanoseconds. Every task is ready at
+    /// virtual time zero and a simulated core executes its chain
+    /// back-to-back (a core with no acquirable task exits the event
+    /// loop instead of idling), so the longest dependency chain is the
+    /// last-finishing core's serial run and its length equals the
+    /// makespan. The trace analyzer's heuristic chain walk is validated
+    /// against this exact quantity.
+    pub critical_path_ns: f64,
+    /// Tasks on the ground-truth critical chain (the last-finishing
+    /// core's task count).
+    pub critical_chain_len: usize,
 }
 
 impl DesResult {
@@ -146,6 +157,7 @@ fn run_sim(cfg: &DesConfig, tasks: &[SimTask], mut sink: Option<&mut Vec<TraceEv
     }
     let mut busy = vec![0.0; cfg.cores];
     let mut tasks_run = vec![0usize; cfg.cores];
+    let mut last_finish = vec![0.0f64; cfg.cores];
     let mut makespan = 0.0f64;
     let mut steals = 0;
 
@@ -197,10 +209,23 @@ fn run_sim(cfg: &DesConfig, tasks: &[SimTask], mut sink: Option<&mut Vec<TraceEv
             });
         }
         makespan = makespan.max(finish);
+        last_finish[core] = finish;
         events.push(Reverse((finish.ceil() as u64, core)));
     }
 
-    DesResult { makespan_ns: makespan, steals, busy_ns: busy, tasks_run }
+    // Cores run gap-free from t=0, so the critical chain is the
+    // last-finishing core's serial run.
+    let crit_core = (0..cfg.cores)
+        .max_by(|&a, &b| last_finish[a].partial_cmp(&last_finish[b]).unwrap())
+        .unwrap_or(0);
+    DesResult {
+        makespan_ns: makespan,
+        steals,
+        busy_ns: busy,
+        tasks_run: tasks_run.clone(),
+        critical_path_ns: last_finish[crit_core],
+        critical_chain_len: tasks_run[crit_core],
+    }
 }
 
 /// Convenience: simulate one stencil time step of `lups` updates split
@@ -333,6 +358,23 @@ mod tests {
             })
             .sum();
         assert_eq!(per_worker, 8);
+    }
+
+    #[test]
+    fn critical_path_is_the_makespan_of_the_busiest_core() {
+        let cfg = DesConfig { cores: 4, task_overhead_ns: 100.0, ..Default::default() };
+        let r = simulate(&cfg, &uniform(17, 3000.0));
+        assert!((r.critical_path_ns - r.makespan_ns).abs() < 1e-6,
+            "all-ready-at-zero ⇒ chain == makespan: {} vs {}",
+            r.critical_path_ns, r.makespan_ns);
+        assert!(r.critical_chain_len >= 1);
+        assert!(r.critical_chain_len <= 17);
+        let total: usize = r.tasks_run.iter().sum();
+        assert_eq!(total, 17);
+        // Empty simulation has an empty chain.
+        let empty = simulate(&cfg, &[]);
+        assert_eq!(empty.critical_path_ns, 0.0);
+        assert_eq!(empty.critical_chain_len, 0);
     }
 
     #[test]

@@ -238,21 +238,43 @@ fn drive_partition(
         }
         // (3) Resolve halos (futures — possibly already buffered) and
         // finish the edge cells. The wait is recorded as a halo-exchange
-        // span (arg = step) so a trace shows how much of each step the
-        // parcels were still in flight after the interior finished.
+        // span whose arg packs the step and which sides actually blocked
+        // — `(step << 2) | waited_left << 1 | waited_right` — so the
+        // attribution engine can tell a fully hidden exchange (halo
+        // already buffered when the interior finished) from an exposed
+        // one without timing heuristics.
         let tracer = rt.tracer();
         let halo_start = tracer.is_enabled().then(std::time::Instant::now);
+        let mut waited = 0u64;
         let left_halo = match left_gid {
-            Some(_) => store.take(loc, Side::Left, t).get(),
+            Some(_) => {
+                let f = store.take(loc, Side::Left, t);
+                if !f.is_ready() {
+                    waited |= 0b10;
+                }
+                f.get()
+            }
             None => params.left_bc,
         };
         let right_halo = match right_gid {
-            Some(_) => store.take(loc, Side::Right, t).get(),
+            Some(_) => {
+                let f = store.take(loc, Side::Right, t);
+                if !f.is_ready() {
+                    waited |= 0b01;
+                }
+                f.get()
+            }
             None => params.right_bc,
         };
         if let Some(t0) = halo_start {
             let lane = rt.current_worker().unwrap_or_else(|| tracer.external_lane());
-            tracer.span(lane, EventKind::HaloExchange, t0, std::time::Instant::now(), t);
+            tracer.span(
+                lane,
+                EventKind::HaloExchange,
+                t0,
+                std::time::Instant::now(),
+                (t << 2) | waited,
+            );
         }
         u[0] = left_halo;
         u[n + 1] = right_halo;

@@ -1,0 +1,153 @@
+//! End-to-end tests of the latency attribution engine: per-worker time
+//! attribution with the conservation identity, the critical-path walk
+//! validated against the DES's exact answer, the grain effect on
+//! exposed halo wait, and a live scrape of the Prometheus endpoint.
+
+use parallex::introspect::{analyze, diff_report, render_report, Analysis};
+use parallex::locality::Cluster;
+use parallex_perfsim::des::{simulate_traced, DesConfig, SimTask};
+use parallex_stencil::heat1d::{install, Heat1dParams, Heat1dSolver};
+use parallex_stencil::plan::StencilPlan;
+use std::sync::Arc;
+use std::time::Duration;
+
+const LOCALITIES: usize = 2;
+const WORKERS: usize = 2;
+
+/// Traced 2-locality heat1d with a fixed halo latency, analyzed.
+fn analyzed_heat1d(n: usize, steps: usize, delay_us: u64) -> Analysis {
+    let cluster = Cluster::new(LOCALITIES, WORKERS);
+    install(&cluster);
+    cluster.set_network_delay(Arc::new(move |_| Duration::from_micros(delay_us)));
+    let solver = Heat1dSolver::new(&cluster, Heat1dParams::new(n, steps, 0.25));
+    cluster.start_trace();
+    let _ = solver.run(move |i| if i < n / 2 { 100.0 } else { 0.0 });
+    let traces = cluster.stop_trace();
+    cluster.shutdown();
+    analyze(&traces)
+}
+
+/// Exposed wait as a share of total worker wall clock.
+fn exposed_share(a: &Analysis) -> f64 {
+    let lanes = a.worker_lanes().count().max(1) as f64;
+    a.exposed_wait_us() / (a.wall_us * lanes).max(1e-9)
+}
+
+#[test]
+fn conservation_holds_per_worker_on_traced_heat1d() {
+    let a = analyzed_heat1d(1 << 15, 20, 200);
+    assert_eq!(a.dropped, 0, "trace capacity must cover the run");
+    assert!(a.wall_us > 0.0);
+    assert!(a.lanes.len() == LOCALITIES * (WORKERS + 1), "{}", a.lanes.len());
+    for l in &a.lanes {
+        assert!(
+            !l.truncated,
+            "well-nested trace must sweep cleanly (L{} lane {})",
+            l.locality, l.lane
+        );
+        assert!(
+            l.conservation_error() <= 0.01,
+            "L{} lane {}: wall {} vs accounted {} ({}%)",
+            l.locality,
+            l.lane,
+            l.wall_us,
+            l.accounted_us(),
+            100.0 * l.conservation_error()
+        );
+    }
+    // The workers did the compute; halo parcels were matched end to end.
+    assert!(a.worker_lanes().map(|l| l.compute_us).sum::<f64>() > 0.0);
+    assert!(a.parcels.matched > 0, "halo exchanges produce parcel RTTs");
+    assert_eq!(a.parcels.unmatched_sends, 0);
+    // The chain walk stays inside the makespan and finds real coverage.
+    let cov = a.critical_path.coverage();
+    assert!(cov > 0.5 && cov <= 1.0 + 1e-6, "coverage {cov}");
+    // And the report renders every section without panicking.
+    let report = render_report(&a);
+    for needle in ["attribution", "critical path", "parcels:"] {
+        assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+    }
+}
+
+#[test]
+fn exposed_halo_wait_shrinks_with_larger_compute_grain() {
+    // Same fixed 400us halo latency; only the compute grain changes.
+    let fine = analyzed_heat1d(1 << 12, 8, 400);
+    let coarse = analyzed_heat1d(1 << 19, 8, 400);
+    let (fs, cs) = (exposed_share(&fine), exposed_share(&coarse));
+    assert!(
+        cs < fs * 0.7,
+        "coarse grain must hide the fixed halo latency: fine {:.1}% vs coarse {:.1}%",
+        100.0 * fs,
+        100.0 * cs
+    );
+}
+
+#[test]
+fn critical_path_walk_matches_des_ground_truth() {
+    // DES cores run gap-free from t=0, so the exact critical path is the
+    // last-finishing core's serial run — the analyzer's heuristic walk
+    // over the DES trace must reproduce it.
+    let plan = StencilPlan::new(1, (1 << 18) / LOCALITIES, 4 * WORKERS);
+    let tasks: Vec<SimTask> = (0..plan.chunks())
+        .map(|i| SimTask { duration_ns: plan.chunk_lups(i) as f64 * 2.0, pinned: None })
+        .collect();
+    let cfg = DesConfig { cores: WORKERS, ..Default::default() };
+    let (result, trace) = simulate_traced(&cfg, &tasks);
+    let des = analyze(&[(0, trace)]);
+    let truth_us = result.critical_path_ns / 1_000.0;
+    let walked_us = des.critical_path.covered_us;
+    assert!(truth_us > 0.0);
+    let err = (walked_us - truth_us).abs() / truth_us;
+    assert!(err < 0.02, "walked {walked_us} vs exact {truth_us} ({err:.4})");
+    // DES lanes conserve trivially (no waits, no parks).
+    assert!(des.max_conservation_error() <= 0.01);
+    // The native-vs-DES diff renders every category row.
+    let native = analyzed_heat1d(1 << 15, 8, 200);
+    let diff = diff_report("native", &native, "DES", &des);
+    for needle in ["compute", "exposed-wait", "hidden-wait", "idle", "wall"] {
+        assert!(diff.contains(needle), "missing {needle:?} in:\n{diff}");
+    }
+}
+
+#[test]
+fn metrics_endpoint_serves_valid_prometheus_over_tcp() {
+    use parallex::introspect::validate_prometheus_text;
+    use std::io::{Read, Write};
+
+    let cluster = Cluster::new(LOCALITIES, WORKERS);
+    install(&cluster);
+    let n = 1 << 14;
+    let solver = Heat1dSolver::new(&cluster, Heat1dParams::new(n, 10, 0.25));
+    let _ = solver.run(move |i| if i < n / 2 { 100.0 } else { 0.0 });
+
+    let server = cluster.serve_metrics("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let scrape = |path: &str| -> String {
+        let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+        conn.write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .expect("request");
+        let mut response = String::new();
+        conn.read_to_string(&mut response).expect("response");
+        response
+    };
+
+    let ok = scrape("/metrics");
+    assert!(ok.starts_with("HTTP/1.1 200"), "{}", &ok[..ok.len().min(64)]);
+    let body = ok.split("\r\n\r\n").nth(1).expect("body");
+    validate_prometheus_text(body).expect("exposition format");
+    assert!(body.contains("parallex_up 1"));
+    // Latency quantile counters from both localities are exported.
+    for loc in 0..LOCALITIES {
+        let needle = format!("parallex_latency_task_p99{{locality=\"{loc}\"");
+        assert!(body.contains(&needle), "missing {needle} in:\n{body}");
+    }
+
+    let missing = scrape("/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{}", &missing[..missing.len().min(64)]);
+
+    drop(server);
+    cluster.shutdown();
+}

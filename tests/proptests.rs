@@ -319,3 +319,55 @@ proptest! {
         prop_assert_eq!(inj_seg, injector);
     }
 }
+
+// ---- counter paths -------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn counter_path_roundtrips_through_display(
+        object in ".{1,12}",
+        name in ".{1,12}",
+        locality in any::<u32>(),
+        worker in proptest::option::of(0usize..64),
+    ) {
+        use parallex::introspect::{CounterPath, Instance};
+        // The generated alphabet contains no '{', '}' or '/', so any
+        // object/name pair renders to a parseable path.
+        let instance = worker.map(Instance::Worker).unwrap_or(Instance::Total);
+        let path = CounterPath::new(object, locality, instance, name);
+        let rendered = path.to_string();
+        let back = CounterPath::parse(&rendered);
+        prop_assert!(back.is_ok(), "parse({:?}) failed: {:?}", rendered, back);
+        prop_assert_eq!(back.unwrap(), path);
+    }
+
+    #[test]
+    fn counter_path_rejects_malformed_instances(
+        object in ".{1,8}",
+        name in ".{1,8}",
+        locality in any::<u32>(),
+    ) {
+        use parallex::introspect::{CounterPath, Instance};
+        let valid = CounterPath::new(
+            object.clone(), locality, Instance::Total, name.clone(),
+        )
+        .to_string();
+        prop_assert!(CounterPath::parse(&valid).is_ok());
+
+        // Empty instance block.
+        prop_assert!(CounterPath::parse(&format!("/{object}{{}}/{name}")).is_err());
+        // Unbalanced braces: strip the closing brace from a valid path.
+        prop_assert!(CounterPath::parse(&valid.replacen('}', "", 1)).is_err());
+        // Embedded '/' inside the instance segment.
+        prop_assert!(CounterPath::parse(&format!(
+            "/{object}{{locality#{locality}/worker#1/zzz}}/{name}"
+        ))
+        .is_err());
+        // Instance missing the locality# prefix.
+        prop_assert!(CounterPath::parse(&format!("/{object}{{loc0/total}}/{name}")).is_err());
+        // Missing leading slash.
+        prop_assert!(CounterPath::parse(valid.trim_start_matches('/')).is_err());
+    }
+}
