@@ -143,6 +143,11 @@ fn run(cmd: &str, sink: &Sink) -> bool {
         "trace" => trace_experiment(sink),
         "explain" => explain_experiment(sink),
         "serve" => serve_experiment(sink),
+        "heat1d-net" => {
+            let report = parallex_bench::netrun::heat1d_net();
+            sink.emit_table("heat1d_net", report.summary);
+            sink.emit_ext("BENCH_net", "json", report.bench_json);
+        }
         "all" => {
             for c in [
                 "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table3",
@@ -357,6 +362,12 @@ fn serve_experiment(sink: &Sink) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden re-invocation used by `heat1d-net` to spawn its worker
+    // processes; never part of the user-facing subcommand set.
+    if args.first().map(String::as_str) == Some("heat1d-net-worker") {
+        parallex_bench::netrun::run_worker(&args[1..]);
+        return;
+    }
     let csv = args.iter().any(|a| a == "--csv");
     let out_dir = args
         .iter()
@@ -383,7 +394,7 @@ fn main() {
         .collect();
     if cmds.is_empty() {
         eprintln!(
-            "usage: repro [--csv] [--out DIR] <table1|fig2..fig8|table3..table6|compare|sensitivity|trace|explain|serve|all> [more…]"
+            "usage: repro [--csv] [--out DIR] <table1|fig2..fig8|table3..table6|compare|sensitivity|trace|explain|serve|heat1d-net|all> [more…]"
         );
         std::process::exit(2);
     }
@@ -392,7 +403,7 @@ fn main() {
         if !run(c, &sink) {
             eprintln!("unknown experiment: {c}");
             eprintln!(
-                "known: table1 fig2..fig8 table3..table6 compare sensitivity trace explain serve all"
+                "known: table1 fig2..fig8 table3..table6 compare sensitivity trace explain serve heat1d-net all"
             );
             std::process::exit(2);
         }

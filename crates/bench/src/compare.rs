@@ -49,11 +49,11 @@ fn gain(proc: ProcessorId, bytes: usize, best_over_cores: bool) -> f64 {
     if best_over_cores {
         sweep
             .into_iter()
-            .map(|c| glups_at(&expl, c) / glups_at(&auto, c))
+            .map(|c| glups_at(&expl, c).expect("4/8 elem bytes are calibrated") / glups_at(&auto, c).expect("4/8 elem bytes are calibrated"))
             .fold(0.0, f64::max)
     } else {
         let c = proc.spec().total_cores();
-        glups_at(&expl, c) / glups_at(&auto, c)
+        glups_at(&expl, c).expect("4/8 elem bytes are calibrated") / glups_at(&auto, c).expect("4/8 elem bytes are calibrated")
     }
 }
 
@@ -167,14 +167,16 @@ pub fn anchors() -> Vec<Anchor> {
             source: "§VII-B",
             quantity: "2D A64FX f32 wall, 48 cores (s, paper: <2)",
             paper: 1.9,
-            model: wall_time_s(&Stencil2dConfig::paper(A64FX, 4, Vectorization::Explicit), 48),
+            model: wall_time_s(&Stencil2dConfig::paper(A64FX, 4, Vectorization::Explicit), 48)
+                .expect("4/8 elem bytes are calibrated"),
             tolerance: 0.15,
         },
         Anchor {
             source: "§VII-B",
             quantity: "2D A64FX f64 wall, 48 cores (s)",
             paper: 3.5,
-            model: wall_time_s(&Stencil2dConfig::paper(A64FX, 8, Vectorization::Explicit), 48),
+            model: wall_time_s(&Stencil2dConfig::paper(A64FX, 8, Vectorization::Explicit), 48)
+                .expect("4/8 elem bytes are calibrated"),
             tolerance: 0.10,
         },
         Anchor {

@@ -53,7 +53,8 @@ fn stencil_lines(proc: ProcessorId, large_grid: bool) -> Vec<Series> {
         } else {
             Stencil2dConfig::paper(proc, bytes, vec)
         };
-        out.push(Series::from_usize(vec.label(bytes), exec::series(&cfg)));
+        let label = vec.label(bytes).expect("4/8 elem bytes are calibrated");
+        out.push(Series::from_usize(label, exec::series(&cfg).expect("4/8 elem bytes are calibrated")));
     }
     out
 }

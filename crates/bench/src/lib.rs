@@ -10,6 +10,7 @@
 
 pub mod compare;
 pub mod figures;
+pub mod netrun;
 pub mod report;
 pub mod tables;
 

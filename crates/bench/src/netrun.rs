@@ -1,0 +1,419 @@
+//! Multi-process distributed heat1d over real TCP parcelports
+//! (`repro heat1d-net`).
+//!
+//! The parent binds a rendezvous listener, spawns one worker *process*
+//! per rank (re-invoking the `repro` binary with the hidden
+//! `heat1d-net-worker` argv), and plays address book: each worker binds
+//! its own [`TcpParcelport`], reports `HELLO <rank> <addr>`, and receives
+//! the full `PEERS` list back. Workers then connect to their stencil
+//! neighbours and run the block-partitioned 1D heat equation, every halo
+//! crossing a real loopback socket as a framed parcel. The parent
+//! reassembles the field, checks it against the in-process [`Cluster`]
+//! solver on the same parameters, and appends a loopback coalescing
+//! benchmark (same parcel stream with coalescing on vs off) for
+//! `BENCH_net.json`.
+
+use parallex::agas::Gid;
+use parallex::locality::Cluster;
+use parallex::parcel::tcp::{TcpConfig, TcpParcelport};
+use parallex::parcel::{serialize, Parcel, Parcelport, PortEvent, PortSink};
+use parallex_stencil::heat1d::{install, Heat1dParams, Heat1dSolver, Side, HALO_PUSH};
+use parallex_stencil::verify::max_abs_diff;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Experiment parameters shared by the parent and the in-process
+/// reference run.
+const RANKS: u32 = 3;
+const POINTS: usize = 96;
+const STEPS: u64 = 40;
+const R: f64 = 0.25;
+
+/// Initial temperature field; both the workers and the reference solver
+/// must call this exact function.
+fn net_init(i: usize) -> f64 {
+    if (20..30).contains(&i) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// What `heat1d_net` hands back to the `repro` sink.
+pub struct NetRunReport {
+    /// Human-readable experiment summary.
+    pub summary: String,
+    /// Machine-readable `BENCH_net.json` body.
+    pub bench_json: String,
+}
+
+// ---------------------------------------------------------------------------
+// worker side
+// ---------------------------------------------------------------------------
+
+/// Entry point of a worker process (hidden `heat1d-net-worker` argv of
+/// the `repro` binary). `args` is `[rank, ranks, points, steps, r, addr]`.
+///
+/// # Panics
+/// Panics on malformed arguments or any rendezvous/transport failure —
+/// the parent surfaces the non-zero exit status.
+pub fn run_worker(args: &[String]) {
+    assert_eq!(args.len(), 6, "worker args: rank ranks points steps r rendezvous_addr");
+    let rank: u32 = args[0].parse().expect("rank");
+    let ranks: u32 = args[1].parse().expect("ranks");
+    let points: usize = args[2].parse().expect("points");
+    let steps: u64 = args[3].parse().expect("steps");
+    let r: f64 = args[4].parse().expect("r");
+    let rendezvous: SocketAddr = args[5].parse().expect("rendezvous addr");
+
+    let mut ctrl = TcpStream::connect(rendezvous).expect("connect to rendezvous");
+    let (tx, rx) = mpsc::channel::<PortEvent>();
+    let sink: PortSink = Arc::new(move |ev| {
+        let _ = tx.send(ev);
+    });
+    let port = TcpParcelport::bind(
+        rank,
+        "127.0.0.1:0".parse().expect("loopback"),
+        sink,
+        TcpConfig::default(),
+    )
+    .expect("bind worker parcelport");
+
+    writeln!(ctrl, "HELLO {rank} {}", port.local_addr()).expect("send hello");
+    let mut lines = BufReader::new(ctrl.try_clone().expect("clone rendezvous stream"));
+    let mut line = String::new();
+    lines.read_line(&mut line).expect("read peer list");
+    let mut toks = line.split_whitespace();
+    assert_eq!(toks.next(), Some("PEERS"), "unexpected rendezvous reply: {line:?}");
+    let addrs: Vec<SocketAddr> =
+        toks.map(|t| t.parse().expect("peer addr")).collect();
+    assert_eq!(addrs.len(), ranks as usize, "peer list covers every rank");
+
+    // Stencil neighbours are the only peers this rank ever talks to.
+    if rank > 0 {
+        port.connect_peer(rank - 1, addrs[rank as usize - 1]).expect("connect left");
+    }
+    if rank + 1 < ranks {
+        port.connect_peer(rank + 1, addrs[rank as usize + 1]).expect("connect right");
+    }
+
+    let range = parallex::topology::block_ranges(points, ranks as usize)[rank as usize].clone();
+    let field = step_partition(&port, &rx, rank, ranks, range, steps, r);
+
+    // RESULT header, then the block as raw little-endian f64s.
+    writeln!(
+        ctrl,
+        "RESULT {rank} {} {} {} {}",
+        field.len(),
+        port.parcels_sent(),
+        port.writes(),
+        port.bytes_sent(),
+    )
+    .expect("send result header");
+    let mut raw = Vec::with_capacity(field.len() * 8);
+    for v in &field {
+        raw.extend_from_slice(&v.to_le_bytes());
+    }
+    ctrl.write_all(&raw).expect("send result payload");
+    ctrl.flush().expect("flush result");
+    port.shutdown();
+}
+
+/// The worker's serial time-stepping loop: identical arithmetic, in
+/// identical order, to the serial path of the in-process solver — so the
+/// assembled field must match it bitwise. Halos go out through `port`
+/// and come back through `rx`.
+fn step_partition(
+    port: &TcpParcelport,
+    rx: &mpsc::Receiver<PortEvent>,
+    rank: u32,
+    ranks: u32,
+    range: std::ops::Range<usize>,
+    steps: u64,
+    r: f64,
+) -> Vec<f64> {
+    let n = range.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let send_halo = |dest: u32, side: Side, step: u64, value: f64| {
+        let payload = serialize::to_bytes(&(side, step, value)).expect("serialize halo");
+        port.send(Parcel {
+            source: rank,
+            dest_locality: dest,
+            dest: Gid { origin: dest, lid: 0 },
+            action: HALO_PUSH,
+            payload: bytes::Bytes::from(payload),
+            response_token: None,
+        })
+        .unwrap_or_else(|e| panic!("rank {rank}: halo to {dest} failed: {e}"));
+    };
+
+    // u[1..=n] are this block's cells; u[0] / u[n+1] are halo slots.
+    let mut u: Vec<f64> = std::iter::once(0.0)
+        .chain(range.map(net_init))
+        .chain(std::iter::once(0.0))
+        .collect();
+    let mut next = vec![0.0f64; n + 2];
+    let mut inbox: HashMap<(Side, u64), f64> = HashMap::new();
+
+    for t in 0..steps {
+        // (1) Ship boundary cells; they travel while we do the interior.
+        if rank > 0 {
+            send_halo(rank - 1, Side::Right, t, u[1]);
+        }
+        if rank + 1 < ranks {
+            send_halo(rank + 1, Side::Left, t, u[n]);
+        }
+        // (2) Interior cells need no halo.
+        for x in 2..n {
+            next[x] = u[x] + r * (u[x - 1] - 2.0 * u[x] + u[x + 1]);
+        }
+        // (3) Resolve halos (fixed 0.0 boundary outside the domain ends)
+        // and finish the edge cells.
+        u[0] = if rank > 0 { recv_halo(rx, &mut inbox, rank, Side::Left, t) } else { 0.0 };
+        u[n + 1] =
+            if rank + 1 < ranks { recv_halo(rx, &mut inbox, rank, Side::Right, t) } else { 0.0 };
+        next[1] = u[1] + r * (u[0] - 2.0 * u[1] + u[2]);
+        if n > 1 {
+            next[n] = u[n] + r * (u[n - 1] - 2.0 * u[n] + u[n + 1]);
+        }
+        std::mem::swap(&mut u, &mut next);
+    }
+    u[1..=n].to_vec()
+}
+
+/// Block until the halo for `(side, step)` is in hand, buffering any
+/// halos that arrive early (a fast neighbour can run a step ahead).
+fn recv_halo(
+    rx: &mpsc::Receiver<PortEvent>,
+    inbox: &mut HashMap<(Side, u64), f64>,
+    rank: u32,
+    side: Side,
+    step: u64,
+) -> f64 {
+    loop {
+        if let Some(v) = inbox.remove(&(side, step)) {
+            return v;
+        }
+        match rx.recv_timeout(Duration::from_secs(30)) {
+            Ok(PortEvent::Deliver(p)) => {
+                assert_eq!(p.action, HALO_PUSH, "only halos cross the wire here");
+                let (got_side, got_step, v): (Side, u64, f64) =
+                    serialize::from_bytes(&p.payload).expect("decode halo payload");
+                inbox.insert((got_side, got_step), v);
+            }
+            Ok(PortEvent::PeerLost(peer)) => {
+                panic!("rank {rank}: lost peer {peer} while waiting for {side:?} step {step}")
+            }
+            Err(e) => panic!("rank {rank}: no halo for {side:?} step {step}: {e}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// parent side
+// ---------------------------------------------------------------------------
+
+/// Run the multi-process experiment: spawn the workers, reassemble the
+/// field, validate against the in-process cluster, then benchmark
+/// coalescing on a loopback port pair.
+///
+/// # Panics
+/// Panics if a worker fails, the rendezvous protocol is violated, or the
+/// distributed field diverges from the in-process solver.
+pub fn heat1d_net() -> NetRunReport {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind rendezvous listener");
+    let rendezvous = listener.local_addr().expect("rendezvous addr");
+    let exe = std::env::current_exe().expect("own binary path");
+
+    let mut children: Vec<std::process::Child> = (0..RANKS)
+        .map(|rank| {
+            std::process::Command::new(&exe)
+                .arg("heat1d-net-worker")
+                .arg(rank.to_string())
+                .arg(RANKS.to_string())
+                .arg(POINTS.to_string())
+                .arg(STEPS.to_string())
+                .arg(R.to_string())
+                .arg(rendezvous.to_string())
+                .spawn()
+                .expect("spawn worker process")
+        })
+        .collect();
+
+    // Collect HELLOs (workers connect in arbitrary order).
+    let mut conns: Vec<Option<(BufReader<TcpStream>, TcpStream)>> =
+        (0..RANKS).map(|_| None).collect();
+    let mut addrs: Vec<String> = vec![String::new(); RANKS as usize];
+    for _ in 0..RANKS {
+        let (stream, _) = listener.accept().expect("worker connects to rendezvous");
+        let mut rd = BufReader::new(stream.try_clone().expect("clone worker stream"));
+        let mut line = String::new();
+        rd.read_line(&mut line).expect("read hello");
+        let mut toks = line.split_whitespace();
+        assert_eq!(toks.next(), Some("HELLO"), "unexpected worker greeting: {line:?}");
+        let rank: usize = toks.next().expect("hello rank").parse().expect("hello rank");
+        addrs[rank] = toks.next().expect("hello addr").to_string();
+        assert!(conns[rank].is_none(), "rank {rank} said hello twice");
+        conns[rank] = Some((rd, stream));
+    }
+
+    // Broadcast the address book; workers connect to neighbours and run.
+    let peers_line = format!("PEERS {}\n", addrs.join(" "));
+    for conn in conns.iter_mut().flatten() {
+        conn.1.write_all(peers_line.as_bytes()).expect("send peer list");
+    }
+
+    // Gather per-rank results.
+    let mut field = Vec::with_capacity(POINTS);
+    let (mut wire_parcels, mut wire_writes, mut wire_bytes) = (0u64, 0u64, 0u64);
+    for (rank, conn) in conns.iter_mut().enumerate() {
+        let (rd, _) = conn.as_mut().expect("every rank connected");
+        let mut line = String::new();
+        rd.read_line(&mut line).expect("read result header");
+        let mut toks = line.split_whitespace();
+        assert_eq!(toks.next(), Some("RESULT"), "unexpected worker result: {line:?}");
+        let got_rank: usize = toks.next().expect("rank").parse().expect("rank");
+        assert_eq!(got_rank, rank);
+        let len: usize = toks.next().expect("len").parse().expect("len");
+        wire_parcels += toks.next().expect("parcels").parse::<u64>().expect("parcels");
+        wire_writes += toks.next().expect("writes").parse::<u64>().expect("writes");
+        wire_bytes += toks.next().expect("bytes").parse::<u64>().expect("bytes");
+        let mut raw = vec![0u8; len * 8];
+        rd.read_exact(&mut raw).expect("read result payload");
+        for chunk in raw.chunks_exact(8) {
+            field.push(f64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+    }
+    for (rank, child) in children.iter_mut().enumerate() {
+        let status = child.wait().expect("wait for worker");
+        assert!(status.success(), "worker rank {rank} exited with {status}");
+    }
+    assert_eq!(field.len(), POINTS, "reassembled field covers the domain");
+
+    // In-process reference: the same solve on a shared-memory Cluster.
+    let cluster = Cluster::new(RANKS as usize, 2);
+    install(&cluster);
+    let solver = Heat1dSolver::new(&cluster, Heat1dParams::new(POINTS, STEPS as usize, R));
+    let want = solver.run(net_init);
+    cluster.shutdown();
+    let diff = max_abs_diff(&field, &want);
+    assert!(
+        diff < 1e-12,
+        "multi-process field diverged from in-process cluster: max abs diff {diff:e}"
+    );
+
+    let coalesced = coalescing_run(TcpConfig::default());
+    let uncoalesced = coalescing_run(TcpConfig::uncoalesced());
+
+    let summary = format!(
+        "== heat1d-net: {RANKS} OS processes over TCP loopback ==\n\
+         domain {POINTS} points, {STEPS} steps, r = {R}\n\
+         max abs diff vs in-process Cluster: {diff:e}\n\
+         wire: {wire_parcels} parcels in {wire_writes} writes ({wire_bytes} bytes)\n\
+         \n\
+         == parcel coalescing on a loopback port pair ==\n\
+         {} parcels of {} payload bytes each\n\
+         coalesced:   {:>6} writes ({:.3} writes/parcel), {:>9.0} parcels/s\n\
+         uncoalesced: {:>6} writes ({:.3} writes/parcel), {:>9.0} parcels/s\n",
+        COALESCE_PARCELS,
+        COALESCE_PAYLOAD,
+        coalesced.writes,
+        coalesced.writes_per_parcel(),
+        coalesced.parcels_per_sec(),
+        uncoalesced.writes,
+        uncoalesced.writes_per_parcel(),
+        uncoalesced.parcels_per_sec(),
+    );
+    let bench_json = format!(
+        "{{\n  \"experiment\": \"heat1d-net\",\n  \"ranks\": {RANKS},\n  \"points\": {POINTS},\n  \
+         \"steps\": {STEPS},\n  \"max_abs_diff\": {diff:e},\n  \
+         \"wire\": {{ \"parcels\": {wire_parcels}, \"writes\": {wire_writes}, \"bytes\": {wire_bytes} }},\n  \
+         \"coalescing\": {{\n    \"parcels\": {COALESCE_PARCELS},\n    \"payload_bytes\": {COALESCE_PAYLOAD},\n    \
+         \"coalesced\": {},\n    \"uncoalesced\": {}\n  }}\n}}\n",
+        coalesced.json(),
+        uncoalesced.json(),
+    );
+    NetRunReport { summary, bench_json }
+}
+
+// ---------------------------------------------------------------------------
+// coalescing benchmark
+// ---------------------------------------------------------------------------
+
+const COALESCE_PARCELS: u64 = 4000;
+const COALESCE_PAYLOAD: usize = 32;
+
+struct CoalesceStats {
+    writes: u64,
+    bytes: u64,
+    elapsed: Duration,
+}
+
+impl CoalesceStats {
+    fn writes_per_parcel(&self) -> f64 {
+        self.writes as f64 / COALESCE_PARCELS as f64
+    }
+
+    fn parcels_per_sec(&self) -> f64 {
+        COALESCE_PARCELS as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{ \"writes\": {}, \"bytes\": {}, \"elapsed_us\": {}, \
+             \"writes_per_parcel\": {:.4}, \"parcels_per_sec\": {:.0} }}",
+            self.writes,
+            self.bytes,
+            self.elapsed.as_micros(),
+            self.writes_per_parcel(),
+            self.parcels_per_sec(),
+        )
+    }
+}
+
+/// Push a stream of small parcels through a loopback port pair under
+/// `cfg` and count the physical writes it took.
+fn coalescing_run(cfg: TcpConfig) -> CoalesceStats {
+    let received = Arc::new(AtomicU64::new(0));
+    let received2 = received.clone();
+    let sink_b: PortSink = Arc::new(move |ev| {
+        if matches!(ev, PortEvent::Deliver(_)) {
+            received2.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    let sink_a: PortSink = Arc::new(|_| {});
+    let loopback: SocketAddr = "127.0.0.1:0".parse().expect("loopback");
+    let a = TcpParcelport::bind(0, loopback, sink_a, cfg.clone()).expect("bind sender port");
+    let b = TcpParcelport::bind(1, loopback, sink_b, cfg).expect("bind receiver port");
+    a.connect_peer(1, b.local_addr()).expect("connect loopback pair");
+
+    let payload = bytes::Bytes::from(vec![0x5a_u8; COALESCE_PAYLOAD]);
+    let t0 = Instant::now();
+    for _ in 0..COALESCE_PARCELS {
+        a.send(Parcel {
+            source: 0,
+            dest_locality: 1,
+            dest: Gid { origin: 1, lid: 0 },
+            action: 7,
+            payload: payload.clone(),
+            response_token: None,
+        })
+        .expect("bench send");
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while received.load(Ordering::Relaxed) < COALESCE_PARCELS {
+        assert!(Instant::now() < deadline, "bench parcels did not all arrive");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let elapsed = t0.elapsed();
+    let stats = CoalesceStats { writes: a.writes(), bytes: a.bytes_sent(), elapsed };
+    a.shutdown();
+    b.shutdown();
+    stats
+}

@@ -67,8 +67,8 @@ fn counter_table(
     header.extend_from_slice(columns);
     let mut t = Table::new(title, &header);
     for (bytes, vec) in VARIANTS {
-        let m = measure_reference(proc, bytes, vec);
-        let mut cells = vec![vec.label(bytes).to_string()];
+        let m = measure_reference(proc, bytes, vec).expect("4/8 elem bytes are calibrated");
+        let mut cells = vec![vec.label(bytes).expect("4/8 elem bytes are calibrated").to_string()];
         cells.extend(extract(&m).into_iter().map(sci));
         t.push_row(cells);
     }

@@ -30,6 +30,14 @@ pub enum Error {
     TaskPanicked(String),
     /// A remote action failed; carries the remote error text.
     RemoteError(String),
+    /// The connection to this locality was lost; outstanding requests to
+    /// it will never be answered.
+    PeerLost(u32),
+    /// A remote call's response did not arrive within the configured
+    /// response timeout.
+    ResponseTimeout,
+    /// A transport-level I/O failure (connect, handshake, socket setup).
+    Io(String),
 }
 
 impl fmt::Display for Error {
@@ -47,6 +55,9 @@ impl fmt::Display for Error {
             Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             Error::TaskPanicked(m) => write!(f, "task panicked: {m}"),
             Error::RemoteError(m) => write!(f, "remote action failed: {m}"),
+            Error::PeerLost(l) => write!(f, "connection to locality {l} lost"),
+            Error::ResponseTimeout => write!(f, "remote call response timed out"),
+            Error::Io(m) => write!(f, "transport I/O error: {m}"),
         }
     }
 }

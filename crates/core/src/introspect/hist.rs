@@ -41,6 +41,11 @@ fn bucket_index(v: u64) -> usize {
 }
 
 /// Lowest value mapping to bucket `idx`.
+///
+/// Total over every valid index: top-octave buckets sit right below
+/// `u64::MAX`, so all arithmetic here is kept saturating — the octave
+/// base `2^63` plus the sub-bucket offset stays below `2^64`, but the
+/// intermediate forms are one shift away from wrapping.
 fn bucket_low(idx: usize) -> u64 {
     if idx < SUB {
         return idx as u64;
@@ -48,17 +53,22 @@ fn bucket_low(idx: usize) -> u64 {
     let octave = (idx / SUB) as u32; // >= 1
     let msb = octave + SUB_BITS - 1;
     let sub = (idx % SUB) as u64;
-    (1u64 << msb) + (sub << (msb - SUB_BITS))
+    (1u64 << msb).saturating_add(sub << (msb - SUB_BITS))
 }
 
 /// Highest value mapping to bucket `idx` (the "highest equivalent
 /// value" reported for quantiles, giving a one-sided error bound).
+///
+/// The top bucket's width term makes `low + width` equal `2^64` before
+/// the `- 1`, so the width is computed as `2^(msb-SUB_BITS) - 1` first
+/// and added saturating: the last bucket tops out at exactly
+/// `u64::MAX` instead of wrapping.
 fn bucket_high(idx: usize) -> u64 {
     if idx < SUB {
         return idx as u64;
     }
     let msb = (idx / SUB) as u32 + SUB_BITS - 1;
-    bucket_low(idx) + (1u64 << (msb - SUB_BITS)) - 1
+    bucket_low(idx).saturating_add((1u64 << (msb - SUB_BITS)) - 1)
 }
 
 /// A lock-free log-bucketed histogram of `u64` values (nanoseconds by
@@ -375,6 +385,43 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.count(), 2);
         assert_eq!(h.value_at_quantile(1.0), u64::MAX);
+    }
+
+    mod bucket_totality {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            // Bounds are ordered and contain their value over the FULL
+            // u64 range — this is the property the wrapping bucket_high
+            // violated for top-octave values (>= 2^63).
+            #[test]
+            fn bounds_contain_value_full_range(v in any::<u64>()) {
+                let idx = bucket_index(v);
+                prop_assert!(idx < NUM_BUCKETS);
+                prop_assert!(bucket_low(idx) <= bucket_high(idx));
+                prop_assert!(bucket_low(idx) <= v && v <= bucket_high(idx));
+            }
+
+            #[test]
+            fn bounds_are_ordered_for_every_index(idx in 0usize..NUM_BUCKETS) {
+                prop_assert!(bucket_low(idx) <= bucket_high(idx));
+                // Bounds round-trip through the index function.
+                prop_assert_eq!(bucket_index(bucket_low(idx)), idx);
+                prop_assert_eq!(bucket_index(bucket_high(idx)), idx);
+            }
+
+            #[test]
+            fn record_and_quantile_are_total(v in any::<u64>()) {
+                let h = LatencyHistogram::new();
+                h.record(v);
+                let top = h.value_at_quantile(1.0);
+                prop_assert!(top >= v);
+                prop_assert!(h.max_value() >= v);
+            }
+        }
     }
 
     #[test]

@@ -10,11 +10,13 @@
 use crate::agas::{AgasService, ComponentStore, Gid, MigrationRegistry};
 use crate::error::{Error, Result};
 use crate::introspect::{
-    prometheus_text, CounterSnapshot, EventKind, LatencyChannel, MetricsServer, Trace,
+    prometheus_text, CounterPath, CounterSnapshot, EventKind, Instance, LatencyChannel,
+    MetricsServer, Trace,
 };
 use crate::lcos::future::{Future, Promise};
 use crate::parcel::{
-    serialize, ActionFn, ActionId, ActionRegistry, DelayFn, Parcel, TimerWheel, RESPONSE_ACTION,
+    serialize, tcp, ActionFn, ActionId, ActionRegistry, DelayFn, InProcessParcelport, Parcel,
+    Parcelport, PortEvent, PortSink, TimerToken, TimerWheel, RESPONSE_ACTION,
 };
 use crate::runtime::Runtime;
 use crate::sched::SchedulerPolicy;
@@ -28,9 +30,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
-/// An outstanding request's promise plus its send time (completing the
-/// parcel-RTT latency histogram on response).
-type PendingRequest = (Promise<Vec<u8>>, std::time::Instant);
+/// An outstanding request: its promise, send time (completing the
+/// parcel-RTT latency histogram on response), destination locality (so a
+/// peer loss can fail exactly the requests aimed at the dead node), and
+/// the response-timeout timer, if one is armed.
+struct PendingRequest {
+    promise: Promise<Vec<u8>>,
+    sent_at: std::time::Instant,
+    dest: u32,
+    timeout: Option<TimerToken>,
+}
 
 /// One simulated node: runtime + component store + parcel endpoints.
 pub struct Locality {
@@ -109,9 +118,32 @@ impl Locality {
         let token = self.next_token.fetch_add(1, Ordering::Relaxed);
         let mut promise = self.runtime.make_promise();
         let future = promise.future();
-        self.pending
-            .lock()
-            .insert(token, (promise, std::time::Instant::now()));
+        self.pending.lock().insert(
+            token,
+            PendingRequest {
+                promise,
+                sent_at: std::time::Instant::now(),
+                dest: dest_locality,
+                timeout: None,
+            },
+        );
+        if let Some(d) = *shared.response_timeout.read() {
+            let weak = Arc::downgrade(&shared.localities[self.id as usize]);
+            let timer = shared.timer.schedule_cancelable(d, move || {
+                if let Some(loc) = weak.upgrade() {
+                    loc.fail_token(token, Error::ResponseTimeout);
+                }
+            });
+            let mut pend = self.pending.lock();
+            match pend.get_mut(&token) {
+                Some(req) => req.timeout = Some(timer),
+                // The response won the race; the timer must not linger.
+                None => {
+                    drop(pend);
+                    shared.timer.cancel(&timer);
+                }
+            }
+        }
         let parcel = Parcel {
             source: self.id,
             dest_locality,
@@ -140,8 +172,9 @@ impl Locality {
     }
 
     fn complete_response(&self, token: u64, result: std::result::Result<Vec<u8>, String>) {
-        let promise = self.pending.lock().remove(&token);
-        if let Some((p, sent_at)) = promise {
+        let req = self.pending.lock().remove(&token);
+        if let Some(req) = req {
+            self.disarm_timeout(&req);
             // Request → response round-trip as observed by the caller's
             // locality, recorded on the completing thread's lane.
             let lane = self
@@ -151,12 +184,50 @@ impl Locality {
             self.runtime.latency_histograms().record(
                 LatencyChannel::ParcelRtt,
                 lane,
-                sent_at.elapsed().as_nanos() as u64,
+                req.sent_at.elapsed().as_nanos() as u64,
             );
             match result {
-                Ok(bytes) => p.set_value(bytes),
-                Err(msg) => p.set_error(Error::RemoteError(msg)),
+                Ok(bytes) => req.promise.set_value(bytes),
+                Err(msg) => req.promise.set_error(Error::RemoteError(msg)),
             }
+        }
+    }
+
+    fn disarm_timeout(&self, req: &PendingRequest) {
+        if let Some(t) = &req.timeout {
+            if let Ok(shared) = self.shared() {
+                shared.timer.cancel(t);
+            }
+        }
+    }
+
+    /// Fail one outstanding request with `err` (response timeout, or a
+    /// transport send error observed synchronously).
+    fn fail_token(&self, token: u64, err: Error) {
+        let req = self.pending.lock().remove(&token);
+        if let Some(req) = req {
+            self.disarm_timeout(&req);
+            req.promise.set_error(err);
+        }
+    }
+
+    /// The peer `peer` is gone: fail every outstanding request addressed
+    /// to it with [`Error::PeerLost`] so blocked callers resume instead
+    /// of hanging (and `Cluster::wait_idle` stops spinning on orphaned
+    /// tokens).
+    pub(crate) fn fail_pending_to(&self, peer: u32) {
+        let drained: Vec<PendingRequest> = {
+            let mut pend = self.pending.lock();
+            let tokens: Vec<u64> = pend
+                .iter()
+                .filter(|(_, r)| r.dest == peer)
+                .map(|(t, _)| *t)
+                .collect();
+            tokens.into_iter().filter_map(|t| pend.remove(&t)).collect()
+        };
+        for req in drained {
+            self.disarm_timeout(&req);
+            req.promise.set_error(Error::PeerLost(peer));
         }
     }
 }
@@ -168,9 +239,65 @@ pub(crate) struct ClusterShared {
     migration: MigrationRegistry,
     timer: TimerWheel,
     delay: RwLock<Option<DelayFn>>,
+    /// The parcelport per locality (in-process handoff by default,
+    /// TCP after [`Cluster::attach_tcp`]).
+    transport: RwLock<Transport>,
+    /// If set, remote calls fail with [`Error::ResponseTimeout`] when no
+    /// response arrives in time.
+    response_timeout: RwLock<Option<Duration>>,
     /// One "system" component per locality: the target GID for
     /// locality-wide (collective) actions.
     system_gids: Vec<Gid>,
+}
+
+/// Which [`Parcelport`] implementation carries inter-locality parcels.
+enum Transport {
+    /// Shared-memory handoff inside one process.
+    InProcess(Vec<Arc<InProcessParcelport>>),
+    /// Real sockets with framing and coalescing.
+    Tcp(Vec<Arc<tcp::TcpParcelport>>),
+}
+
+impl Transport {
+    fn port(&self, i: usize) -> Option<Arc<dyn Parcelport>> {
+        match self {
+            Transport::InProcess(v) => v.get(i).cloned().map(|p| p as Arc<dyn Parcelport>),
+            Transport::Tcp(v) => v.get(i).cloned().map(|p| p as Arc<dyn Parcelport>),
+        }
+    }
+
+    fn pending(&self) -> usize {
+        match self {
+            Transport::InProcess(v) => v.iter().map(|p| p.pending()).sum(),
+            Transport::Tcp(v) => v.iter().map(|p| p.pending()).sum(),
+        }
+    }
+
+    fn shutdown_ports(&self) {
+        match self {
+            Transport::InProcess(v) => v.iter().for_each(|p| p.shutdown()),
+            Transport::Tcp(v) => v.iter().for_each(|p| p.shutdown()),
+        }
+    }
+
+    /// Parcels written to the wire but not yet decoded by a receiver.
+    /// The in-process port hands parcels over synchronously, so only TCP
+    /// can have bytes genuinely in flight. After a peer loss the
+    /// sent/received ledger can never balance (frames toward the dead
+    /// peer are gone), so the check is disabled rather than spun on.
+    fn in_flight(&self) -> u64 {
+        match self {
+            Transport::InProcess(_) => 0,
+            Transport::Tcp(v) => {
+                if v.iter().any(|p| p.any_peer_lost()) {
+                    return 0;
+                }
+                let sent: u64 = v.iter().map(|p| p.parcels_sent()).sum();
+                let received: u64 = v.iter().map(|p| p.parcels_received()).sum();
+                sent.saturating_sub(received)
+            }
+        }
+    }
 }
 
 /// Marker component representing "the locality itself" — the target of
@@ -185,11 +312,44 @@ impl ClusterShared {
                 let weak = Arc::downgrade(self);
                 self.timer.schedule(d, move || {
                     if let Some(shared) = weak.upgrade() {
-                        ClusterShared::deliver(&shared, parcel);
+                        ClusterShared::transmit(&shared, parcel);
                     }
                 });
             }
-            _ => ClusterShared::deliver(self, parcel),
+            _ => ClusterShared::transmit(self, parcel),
+        }
+    }
+
+    /// Hand the parcel to the source locality's parcelport (self-sends
+    /// skip the transport — no loopback socket hop even under TCP). A
+    /// synchronous transport failure fails the caller's pending request
+    /// with the typed error instead of letting it hang.
+    fn transmit(self: &Arc<Self>, parcel: Parcel) {
+        let port = if parcel.source == parcel.dest_locality {
+            None
+        } else {
+            self.transport.read().port(parcel.source as usize)
+        };
+        let Some(port) = port else {
+            ClusterShared::deliver(self, parcel);
+            return;
+        };
+        let source = parcel.source;
+        let action = parcel.action;
+        let token = parcel.response_token;
+        if let Err(e) = port.send(parcel) {
+            match (action, token) {
+                // A request with a response token: fail it so the caller
+                // gets the typed error immediately.
+                (a, Some(tok)) if a != RESPONSE_ACTION => {
+                    if let Some(loc) = self.localities.get(source as usize) {
+                        loc.fail_token(tok, e);
+                    }
+                }
+                // Fire-and-forget or an undeliverable response: the
+                // requester's own peer-loss handling covers the latter.
+                _ => eprintln!("parallex: dropping parcel (action {action}): {e}"),
+            }
         }
     }
 
@@ -329,12 +489,131 @@ impl Cluster {
             migration: MigrationRegistry::new(),
             timer: TimerWheel::new(),
             delay: RwLock::new(None),
+            transport: RwLock::new(Transport::InProcess(Vec::new())),
+            response_timeout: RwLock::new(None),
             system_gids,
         });
         for loc in &shared.localities {
             *loc.cluster.write() = Arc::downgrade(&shared);
         }
+        // Default transport: the in-process parcelport, one per locality,
+        // delivering straight back into the cluster.
+        let inproc: Vec<Arc<InProcessParcelport>> = (0..shared.localities.len())
+            .map(|_| Arc::new(InProcessParcelport::new(Self::delivery_sink(&shared, None))))
+            .collect();
+        *shared.transport.write() = Transport::InProcess(inproc);
         Cluster { shared }
+    }
+
+    /// The sink a parcelport drives: inbound parcels enter the delivery
+    /// path; a lost peer fails the owning locality's pending requests.
+    fn delivery_sink(shared: &Arc<ClusterShared>, owner: Option<usize>) -> PortSink {
+        let weak = Arc::downgrade(shared);
+        Arc::new(move |ev| {
+            let Some(shared) = weak.upgrade() else { return };
+            match ev {
+                PortEvent::Deliver(p) => ClusterShared::deliver(&shared, p),
+                PortEvent::PeerLost(peer) => {
+                    if let Some(loc) = owner.and_then(|i| shared.localities.get(i)) {
+                        loc.fail_pending_to(peer);
+                    }
+                }
+            }
+        })
+    }
+
+    /// Switch the cluster's transport to real TCP parcelports on
+    /// loopback: one listener per locality, a full mesh of per-direction
+    /// connections, parcel coalescing per [`tcp::TcpConfig`]. The
+    /// network-delay model still composes on top (delays are applied
+    /// before the parcel is handed to the port). Wire-level counters
+    /// (`/parcels/.../bytes/sent`, `count/writes`) register on each
+    /// locality's counter registry.
+    pub fn attach_tcp(&self, cfg: tcp::TcpConfig) -> Result<()> {
+        let shared = &self.shared;
+        let n = self.len();
+        let mut ports = Vec::with_capacity(n);
+        for i in 0..n {
+            let sink = Self::delivery_sink(shared, Some(i));
+            let addr = "127.0.0.1:0".parse().expect("loopback addr");
+            let port = tcp::TcpParcelport::bind(i as u32, addr, sink, cfg.clone())
+                .map_err(|e| Error::Io(e.to_string()))?;
+            ports.push(port);
+        }
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    ports[i].connect_peer(j as u32, ports[j].local_addr())?;
+                }
+            }
+        }
+        for (i, port) in ports.iter().enumerate() {
+            let reg = shared.localities[i].runtime.counter_registry().clone();
+            let p = port.clone();
+            reg.register(
+                CounterPath::new("parcels", i as u32, Instance::Total, "bytes/sent"),
+                move || p.bytes_sent(),
+            );
+            let p = port.clone();
+            reg.register(
+                CounterPath::new("parcels", i as u32, Instance::Total, "bytes/received"),
+                move || p.bytes_received(),
+            );
+            let p = port.clone();
+            reg.register(
+                CounterPath::new("parcels", i as u32, Instance::Total, "count/writes"),
+                move || p.writes(),
+            );
+        }
+        *shared.transport.write() = Transport::Tcp(ports);
+        Ok(())
+    }
+
+    /// [`Cluster::new`] + [`Cluster::attach_tcp`] with default tuning:
+    /// every inter-locality parcel really crosses a loopback socket.
+    ///
+    /// # Panics
+    /// Panics if loopback listeners cannot be bound.
+    pub fn new_tcp(localities: usize, threads_each: usize) -> Cluster {
+        let c = Cluster::new(localities, threads_each);
+        c.attach_tcp(tcp::TcpConfig::default())
+            .expect("TCP parcelport on loopback");
+        c
+    }
+
+    /// The TCP parcelports, in locality order (empty for the in-process
+    /// transport) — for wire-level stats and fault injection.
+    pub fn tcp_ports(&self) -> Vec<Arc<tcp::TcpParcelport>> {
+        match &*self.shared.transport.read() {
+            Transport::Tcp(p) => p.clone(),
+            Transport::InProcess(_) => Vec::new(),
+        }
+    }
+
+    /// Fail remote calls whose response does not arrive within `d`
+    /// (typed [`Error::ResponseTimeout`]); the timer is disarmed when
+    /// the response wins the race.
+    pub fn set_response_timeout(&self, d: Duration) {
+        *self.shared.response_timeout.write() = Some(d);
+    }
+
+    /// Remove the response timeout.
+    pub fn clear_response_timeout(&self) {
+        *self.shared.response_timeout.write() = None;
+    }
+
+    /// Fault injection: sever locality `i` from the cluster as if its
+    /// node died — its listener and all of its connections close, and
+    /// every peer's outstanding requests toward it fail with
+    /// [`Error::PeerLost`]. Only meaningful on the TCP transport.
+    pub fn disconnect_locality(&self, i: usize) {
+        let port = match &*self.shared.transport.read() {
+            Transport::Tcp(p) => p.get(i).cloned(),
+            Transport::InProcess(_) => None,
+        };
+        if let Some(p) = port {
+            p.shutdown();
+        }
     }
 
     /// Number of localities.
@@ -488,9 +767,12 @@ impl Cluster {
             for loc in &self.shared.localities {
                 loc.runtime.wait_idle();
             }
-            // Parcels in the timer wheel may spawn more work when they
-            // land; only stop once nothing is pending anywhere.
+            // Parcels in the timer wheel or queued in a parcelport may
+            // spawn more work when they land; only stop once nothing is
+            // pending anywhere.
             let busy = self.shared.timer.pending() > 0
+                || self.shared.transport.read().pending() > 0
+                || self.shared.transport.read().in_flight() > 0
                 || self
                     .shared
                     .localities
@@ -503,8 +785,10 @@ impl Cluster {
         }
     }
 
-    /// Shut down all localities' runtimes.
+    /// Shut down all localities' runtimes (quiescing the transport
+    /// first, so no late parcels land on stopping runtimes).
     pub fn shutdown(&self) {
+        self.shared.transport.read().shutdown_ports();
         for loc in &self.shared.localities {
             loc.runtime.shutdown();
         }
@@ -575,7 +859,14 @@ mod tests {
     const WHERE_AM_I: ActionId = 3;
 
     fn cluster() -> Cluster {
-        let c = Cluster::new(3, 2);
+        with_actions(Cluster::new(3, 2))
+    }
+
+    fn tcp_cluster() -> Cluster {
+        with_actions(Cluster::new_tcp(3, 2))
+    }
+
+    fn with_actions(c: Cluster) -> Cluster {
         c.register_action(ECHO, "echo", |_, _, payload| Ok(payload.to_vec()));
         c.register_action(ADD_TO, "add_to", |loc, gid, payload| {
             let x: i64 = serialize::from_bytes(payload)?;
@@ -824,6 +1115,170 @@ mod tests {
         let gid = c.new_component(0, ());
         let f = c.locality(0).call::<(), u32>(gid, WHERE_AM_I, &()).unwrap();
         assert_eq!(f.get(), 0);
+        c.shutdown();
+    }
+
+    // ---- TCP transport -------------------------------------------------
+
+    #[test]
+    fn tcp_echo_roundtrip_crosses_real_sockets() {
+        let c = tcp_cluster();
+        let gid = c.new_component(2, ());
+        let f = c
+            .locality(0)
+            .call::<String, String>(gid, ECHO, &"over tcp".to_string())
+            .unwrap();
+        assert_eq!(f.get(), "over tcp");
+        // The request and its response really went over the wire.
+        let ports = c.tcp_ports();
+        assert_eq!(ports.len(), 3);
+        let wire_parcels: u64 = ports.iter().map(|p| p.parcels_sent()).sum();
+        assert!(wire_parcels >= 2, "request + response on sockets, got {wire_parcels}");
+        let wire_bytes: u64 = ports.iter().map(|p| p.bytes_sent()).sum();
+        assert!(wire_bytes > 0);
+        c.shutdown();
+    }
+
+    #[test]
+    fn tcp_broadcast_and_collectives_work() {
+        let c = tcp_cluster();
+        let ids: Vec<u32> = c.broadcast::<(), u32>(WHERE_AM_I, &()).unwrap().get();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let sum = c
+            .reduce_all::<(), u32>(WHERE_AM_I, &(), |a, b| a + b)
+            .unwrap()
+            .get();
+        assert_eq!(sum, 3);
+        c.shutdown();
+    }
+
+    #[test]
+    fn tcp_parcel_conservation_and_wire_counters() {
+        let c = tcp_cluster();
+        let gid = c.new_component(1, Mutex::new(0i64));
+        for _ in 0..20 {
+            c.locality(0).apply(gid, ADD_TO, &1i64).unwrap();
+        }
+        let fs: Vec<_> = (0..10)
+            .map(|i| {
+                c.locality(i % 3)
+                    .call::<(), u32>(c.system_gid((i + 1) % 3), WHERE_AM_I, &())
+                    .unwrap()
+            })
+            .collect();
+        for f in fs {
+            f.get();
+        }
+        c.wait_idle();
+        let cell = c.get_component::<Mutex<i64>>(gid).unwrap();
+        assert_eq!(*cell.lock(), 20);
+        // Σ sent == Σ received at the runtime-counter level…
+        let (mut sent, mut received) = (0usize, 0usize);
+        for loc in c.localities() {
+            let snap = loc.runtime().perf_snapshot();
+            sent += snap.parcels_sent;
+            received += snap.parcels_received;
+        }
+        assert_eq!(sent, received, "parcel conservation violated over TCP");
+        // …and at the wire level (every inter-locality parcel here
+        // crosses a socket; none of these targets are self-sends).
+        let ports = c.tcp_ports();
+        let wire_sent: u64 = ports.iter().map(|p| p.parcels_sent()).sum();
+        let wire_received: u64 = ports.iter().map(|p| p.parcels_received()).sum();
+        assert_eq!(wire_sent, wire_received, "wire-level conservation violated");
+        assert!(wire_sent >= 30, "wire_sent {wire_sent}");
+        // Coalescing means fewer physical writes than parcels.
+        let writes: u64 = ports.iter().map(|p| p.writes()).sum();
+        assert!(writes <= wire_sent, "writes {writes} vs parcels {wire_sent}");
+        // The wire counters surface through the introspection registry.
+        let snap = c.counter_snapshot();
+        let wire_counter: u64 = snap
+            .iter()
+            .filter(|(p, _)| p.object == "parcels" && p.name == "bytes/sent")
+            .map(|(_, v)| v)
+            .sum();
+        assert!(wire_counter > 0, "/parcels/.../bytes/sent must be registered");
+        c.shutdown();
+    }
+
+    #[test]
+    fn tcp_heat_like_traffic_matches_inprocess_results() {
+        // The same action workload on both transports must produce the
+        // same component state.
+        let run = |c: Cluster| -> i64 {
+            let gid = c.new_component(2, Mutex::new(0i64));
+            for k in 1..=15 {
+                c.locality(k % 3).apply(gid, ADD_TO, &(k as i64)).unwrap();
+            }
+            c.wait_idle();
+            let v = *c.get_component::<Mutex<i64>>(gid).unwrap().lock();
+            c.shutdown();
+            v
+        };
+        assert_eq!(run(cluster()), run(tcp_cluster()));
+    }
+
+    #[test]
+    fn tcp_network_delay_composes_on_top() {
+        let c = tcp_cluster();
+        c.set_network_delay(Arc::new(|_p| Duration::from_millis(2)));
+        let gid = c.new_component(1, ());
+        let t = crate::util::HighResolutionTimer::new();
+        let f = c
+            .locality(0)
+            .call::<String, String>(gid, ECHO, &"delayed".to_string())
+            .unwrap();
+        assert_eq!(f.get(), "delayed");
+        assert!(t.elapsed() >= 0.004, "{}", t.elapsed());
+        c.shutdown();
+    }
+
+    #[test]
+    fn killed_peer_fails_pending_calls_with_peer_lost() {
+        let c = tcp_cluster();
+        c.register_action(60, "slow", |_, _, _| {
+            std::thread::sleep(Duration::from_millis(400));
+            Ok(vec![])
+        });
+        let gid = c.new_component(2, ());
+        // In flight when the peer dies: must fail, not hang.
+        let f = c.locality(0).async_action_raw(gid, 60, &()).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        c.disconnect_locality(2);
+        assert_eq!(f.try_get(), Err(Error::PeerLost(2)));
+        // New calls to the dead locality fail fast too (possibly after
+        // the loss propagates through the reader threads).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let f = c.locality(0).async_action_raw(gid, 60, &()).unwrap();
+            if f.try_get() == Err(Error::PeerLost(2)) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "PeerLost never surfaced");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // wait_idle must not spin on the orphaned tokens.
+        c.wait_idle();
+        c.shutdown();
+    }
+
+    #[test]
+    fn response_timeout_fails_stuck_calls() {
+        let c = tcp_cluster();
+        c.set_response_timeout(Duration::from_millis(80));
+        c.register_action(61, "sleepy", |_, _, payload| {
+            let ms: u64 = serialize::from_bytes(payload)?;
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(vec![])
+        });
+        let gid = c.new_component(1, ());
+        // Slower than the timeout: typed failure.
+        let f = c.locality(0).async_action_raw(gid, 61, &300u64).unwrap();
+        assert_eq!(f.try_get(), Err(Error::ResponseTimeout));
+        // Faster than the timeout: unaffected (timer disarmed).
+        let f = c.locality(0).async_action_raw(gid, 61, &1u64).unwrap();
+        assert!(f.try_get().is_ok());
+        c.wait_idle();
         c.shutdown();
     }
 }

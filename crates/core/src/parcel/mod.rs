@@ -8,7 +8,9 @@
 //! experiments of the paper's Fig. 3 run against a modeled interconnect
 //! (see `parallex-netsim`).
 
+pub mod frame;
 pub mod serialize;
+pub mod tcp;
 
 use crate::agas::Gid;
 use crate::error::{Error, Result};
@@ -119,11 +121,114 @@ impl ActionRegistry {
 /// immediately, same-process shared memory).
 pub type DelayFn = Arc<dyn Fn(&Parcel) -> Duration + Send + Sync>;
 
+/// What a parcelport hands to its owner: inbound parcels and peer-loss
+/// notifications.
+#[derive(Debug)]
+pub enum PortEvent {
+    /// A parcel arrived and should enter the delivery path.
+    Deliver(Parcel),
+    /// The connection to this peer locality is gone; outstanding requests
+    /// to it will never be answered.
+    PeerLost(u32),
+}
+
+/// Sink invoked by a parcelport for every [`PortEvent`]; must be cheap
+/// and non-blocking (ports call it from reader threads).
+pub type PortSink = Arc<dyn Fn(PortEvent) + Send + Sync>;
+
+/// A transport that moves parcels between localities — Fig. 1's
+/// "Parcelport" box. Two implementations exist: the zero-copy in-process
+/// handoff ([`InProcessParcelport`]) used by a single-process
+/// [`crate::locality::Cluster`], and the real socket transport
+/// ([`tcp::TcpParcelport`]) with framing and coalescing.
+pub trait Parcelport: Send + Sync {
+    /// Transport name for diagnostics ("inproc", "tcp").
+    fn name(&self) -> &'static str;
+
+    /// Queue `parcel` for delivery to `parcel.dest_locality`. May block
+    /// briefly for backpressure; fails with
+    /// [`Error::PeerLost`](crate::error::Error::PeerLost) once the peer
+    /// is unreachable.
+    fn send(&self, parcel: Parcel) -> Result<()>;
+
+    /// Parcels accepted by [`Parcelport::send`] but not yet handed to the
+    /// wire (or the sink) — `Cluster::wait_idle` polls this.
+    fn pending(&self) -> usize;
+
+    /// Total payload+header bytes put on the wire so far.
+    fn bytes_sent(&self) -> u64;
+
+    /// Number of physical writes issued — with coalescing this is
+    /// (often much) smaller than the number of parcels sent.
+    fn writes(&self) -> u64;
+
+    /// Stop accepting sends and release transport resources.
+    fn shutdown(&self);
+}
+
+/// The in-process parcelport: hands every parcel straight to the sink on
+/// the caller's thread — the shared-memory "transport" a single-process
+/// cluster uses.
+pub struct InProcessParcelport {
+    sink: PortSink,
+    parcels: std::sync::atomic::AtomicU64,
+    bytes: std::sync::atomic::AtomicU64,
+}
+
+impl InProcessParcelport {
+    /// Wrap `sink` as a parcelport.
+    pub fn new(sink: PortSink) -> InProcessParcelport {
+        InProcessParcelport {
+            sink,
+            parcels: std::sync::atomic::AtomicU64::new(0),
+            bytes: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
+impl Parcelport for InProcessParcelport {
+    fn name(&self) -> &'static str {
+        "inproc"
+    }
+
+    fn send(&self, parcel: Parcel) -> Result<()> {
+        use std::sync::atomic::Ordering;
+        self.parcels.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(parcel.wire_bytes() as u64, Ordering::Relaxed);
+        (self.sink)(PortEvent::Deliver(parcel));
+        Ok(())
+    }
+
+    fn pending(&self) -> usize {
+        0 // delivery is synchronous
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.bytes.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn writes(&self) -> u64 {
+        // One "write" per parcel: nothing coalesces in shared memory.
+        self.parcels.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn shutdown(&self) {}
+}
+
 type Deferred = Box<dyn FnOnce() + Send + 'static>;
+
+/// Handle to a deferred item scheduled on a [`TimerWheel`].
+#[derive(Debug)]
+pub struct TimerToken(u64);
 
 struct TimerState {
     queue: BinaryHeap<Reverse<(Instant, u64)>>,
     items: HashMap<u64, Deferred>,
+    /// Items popped from `items` but still running on the timer thread.
+    /// Counted by `pending()` so an idle check can't observe zero while a
+    /// delayed parcel is mid-delivery (popped, delivery task not yet
+    /// spawned).
+    executing: usize,
     next_seq: u64,
     shutdown: bool,
 }
@@ -142,6 +247,7 @@ impl TimerWheel {
             Mutex::new(TimerState {
                 queue: BinaryHeap::new(),
                 items: HashMap::new(),
+                executing: 0,
                 next_seq: 0,
                 shutdown: false,
             }),
@@ -171,7 +277,9 @@ impl TimerWheel {
                     }
                     let now = Instant::now();
                     match st.queue.peek() {
-                        Some(Reverse((t, _))) if *t <= now => {
+                        // Due — or cancelled, in which case pop it now so
+                        // shutdown never waits out a dead deadline.
+                        Some(Reverse((t, seq))) if *t <= now || !st.items.contains_key(seq) => {
                             let Reverse((_, seq)) = st.queue.pop().unwrap();
                             if let Some(item) = st.items.remove(&seq) {
                                 due.push(item);
@@ -192,29 +300,57 @@ impl TimerWheel {
                         }
                     }
                 }
+                st.executing += due.len();
             }
+            let ran = due.len();
             for item in due {
                 item();
             }
+            lock.lock().executing -= ran;
         }
     }
 
     /// Run `f` after `delay`.
     pub fn schedule(&self, delay: Duration, f: impl FnOnce() + Send + 'static) {
+        let _ = self.schedule_cancelable(delay, f);
+    }
+
+    /// Run `f` after `delay`, returning a token that [`TimerWheel::cancel`]
+    /// accepts (used for response timeouts, which are cancelled when the
+    /// response arrives so `pending` drains promptly).
+    pub fn schedule_cancelable(
+        &self,
+        delay: Duration,
+        f: impl FnOnce() + Send + 'static,
+    ) -> TimerToken {
         let (lock, cond) = &*self.state;
-        {
+        let seq = {
             let mut st = lock.lock();
             let seq = st.next_seq;
             st.next_seq += 1;
             st.queue.push(Reverse((Instant::now() + delay, seq)));
             st.items.insert(seq, Box::new(f));
-        }
+            seq
+        };
         cond.notify_one();
+        TimerToken(seq)
     }
 
-    /// Pending deferred items.
+    /// Drop a scheduled item before it fires. Returns whether it was
+    /// still pending (false ⇒ it already ran or was cancelled).
+    pub fn cancel(&self, token: &TimerToken) -> bool {
+        let hit = self.state.0.lock().items.remove(&token.0).is_some();
+        // Wake the wheel so it is not left sleeping toward a dead deadline.
+        self.state.1.notify_one();
+        hit
+    }
+
+    /// Pending deferred items, including any currently executing on the
+    /// timer thread (a delayed parcel is "pending" until its delivery
+    /// task has been handed to the destination runtime).
     pub fn pending(&self) -> usize {
-        self.state.0.lock().items.len()
+        let st = self.state.0.lock();
+        st.items.len() + st.executing
     }
 }
 

@@ -1,0 +1,653 @@
+//! The TCP parcelport: real sockets, framing, and parcel coalescing.
+//!
+//! Modeled on HPX's TCP parcelport as deployed on commodity clusters
+//! (the Raspberry Pi study that accompanies the paper's platform line):
+//! each ordered pair of localities gets one TCP connection, owned by the
+//! *sender*. A per-peer writer thread drains a bounded byte queue and
+//! **coalesces** every frame queued within a small window into a single
+//! `write` — on loopback and gigabit-class links the syscall/packet
+//! overhead of many tiny active messages dominates, and batching them is
+//! what makes AMT halo traffic viable. A flush happens when either
+//!
+//! * the queued bytes reach [`TcpConfig::coalesce_max_bytes`], or
+//! * the oldest queued frame has waited [`TcpConfig::coalesce_max_delay`].
+//!
+//! Inbound, an accept thread performs a 4-byte hello handshake (the
+//! connecting locality announces its id) and spawns a reader that
+//! re-frames the byte stream via [`frame::decode`] and forwards each
+//! parcel to the [`PortSink`]. EOF or an I/O error on a peer's stream
+//! surfaces as [`PortEvent::PeerLost`], and all queued/future sends to
+//! that peer fail with [`Error::PeerLost`] — callers never hang on a
+//! dead node.
+
+use super::frame;
+use super::{Parcel, Parcelport, PortEvent, PortSink};
+use crate::error::{Error, Result};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`TcpParcelport`].
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// Flush the coalescing buffer once this many bytes are queued.
+    pub coalesce_max_bytes: usize,
+    /// Flush once the oldest queued frame has waited this long.
+    pub coalesce_max_delay: Duration,
+    /// Backpressure bound: [`Parcelport::send`] blocks while a peer's
+    /// queue holds this many bytes.
+    pub queue_capacity_bytes: usize,
+    /// Connection attempts before giving up on a peer.
+    pub connect_attempts: u32,
+    /// Initial retry backoff (doubles per attempt, capped at 200 ms).
+    pub connect_backoff: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> TcpConfig {
+        TcpConfig {
+            coalesce_max_bytes: 16 << 10,
+            coalesce_max_delay: Duration::from_micros(200),
+            queue_capacity_bytes: 4 << 20,
+            connect_attempts: 20,
+            connect_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl TcpConfig {
+    /// A configuration with coalescing effectively disabled: every parcel
+    /// is written as soon as the writer thread sees it (the baseline the
+    /// coalescing benchmark compares against).
+    pub fn uncoalesced() -> TcpConfig {
+        TcpConfig {
+            coalesce_max_bytes: 1,
+            coalesce_max_delay: Duration::ZERO,
+            ..TcpConfig::default()
+        }
+    }
+}
+
+#[derive(Default)]
+struct Stats {
+    parcels_sent: AtomicU64,
+    parcels_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    writes: AtomicU64,
+}
+
+/// The sender-side queue for one peer.
+struct PeerQueue {
+    /// Encoded frames awaiting the writer thread.
+    buf: Vec<u8>,
+    /// Length of each queued frame, in order; the writer uses these to
+    /// split a drained batch into write units.
+    lens: Vec<usize>,
+    /// Parcels those bytes represent.
+    frames: usize,
+    /// When the oldest queued frame arrived (the coalescing clock).
+    first_at: Option<Instant>,
+    closed: bool,
+}
+
+struct PeerShared {
+    state: Mutex<PeerQueue>,
+    /// Wakes the writer when frames arrive or the queue closes.
+    ready: Condvar,
+    /// Wakes blocked senders when the writer drains the queue.
+    space: Condvar,
+}
+
+struct Peer {
+    id: u32,
+    shared: Arc<PeerShared>,
+    writer: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+struct Inner {
+    local_id: u32,
+    cfg: TcpConfig,
+    sink: PortSink,
+    peers: RwLock<HashMap<u32, Arc<Peer>>>,
+    shutdown: AtomicBool,
+    /// Set once any connection dies; parcels toward that peer can never
+    /// arrive, so exact sent-vs-received accounting is off the table.
+    peer_lost: AtomicBool,
+    stats: Stats,
+}
+
+impl Inner {
+    /// Mark the outgoing queue to `peer` closed so senders fail fast.
+    fn close_peer_queue(&self, peer: u32) {
+        if let Some(p) = self.peers.read().get(&peer) {
+            let mut q = p.shared.state.lock();
+            q.closed = true;
+            p.shared.ready.notify_all();
+            p.shared.space.notify_all();
+        }
+    }
+
+    fn emit(&self, ev: PortEvent) {
+        if !self.shutdown.load(Ordering::Acquire) {
+            (self.sink)(ev);
+        }
+    }
+
+    fn mark_peer_lost(&self) {
+        self.peer_lost.store(true, Ordering::Release);
+    }
+}
+
+/// Accepted inbound streams and their reader threads, shared with the
+/// accept loop so shutdown can sever and join them.
+type ReaderRegistry = Arc<Mutex<Vec<(TcpStream, std::thread::JoinHandle<()>)>>>;
+
+/// A [`Parcelport`] over TCP; see the module docs for the design.
+pub struct TcpParcelport {
+    inner: Arc<Inner>,
+    listener_addr: SocketAddr,
+    accept: Mutex<Option<std::thread::JoinHandle<()>>>,
+    readers: ReaderRegistry,
+}
+
+impl TcpParcelport {
+    /// Bind a listener for `local_id` on `addr` (use port 0 for an
+    /// OS-assigned port, then [`TcpParcelport::local_addr`]) and start
+    /// the accept loop. Inbound parcels and peer losses go to `sink`.
+    pub fn bind(
+        local_id: u32,
+        addr: SocketAddr,
+        sink: PortSink,
+        cfg: TcpConfig,
+    ) -> std::io::Result<Arc<TcpParcelport>> {
+        let listener = TcpListener::bind(addr)?;
+        let listener_addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            local_id,
+            cfg,
+            sink,
+            peers: RwLock::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            peer_lost: AtomicBool::new(false),
+            stats: Stats::default(),
+        });
+        let readers: ReaderRegistry = Arc::new(Mutex::new(Vec::new()));
+        let port = Arc::new(TcpParcelport {
+            inner: inner.clone(),
+            listener_addr,
+            accept: Mutex::new(None),
+            readers: readers.clone(),
+        });
+        let accept = std::thread::Builder::new()
+            .name(format!("px-tcp-accept{local_id}"))
+            .spawn(move || accept_loop(listener, inner, readers))
+            .expect("failed to spawn parcelport accept thread");
+        *port.accept.lock() = Some(accept);
+        Ok(port)
+    }
+
+    /// The address peers should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener_addr
+    }
+
+    /// This port's locality id.
+    pub fn local_id(&self) -> u32 {
+        self.inner.local_id
+    }
+
+    /// Establish the outgoing connection to `peer_id` at `addr`, with
+    /// bounded retry/backoff (the peer's listener may not be up yet).
+    pub fn connect_peer(&self, peer_id: u32, addr: SocketAddr) -> Result<()> {
+        let cfg = &self.inner.cfg;
+        let mut backoff = cfg.connect_backoff;
+        let mut last_err = String::new();
+        let mut stream = None;
+        for _ in 0..cfg.connect_attempts.max(1) {
+            if self.inner.shutdown.load(Ordering::Acquire) {
+                return Err(Error::RuntimeShutDown);
+            }
+            match TcpStream::connect(addr) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => {
+                    last_err = e.to_string();
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(200));
+                }
+            }
+        }
+        let mut stream = stream.ok_or_else(|| {
+            Error::Io(format!("connect to locality {peer_id} at {addr}: {last_err}"))
+        })?;
+        let _ = stream.set_nodelay(true);
+        // Hello: announce who is on this end of the connection.
+        stream
+            .write_all(&self.inner.local_id.to_le_bytes())
+            .map_err(|e| Error::Io(format!("hello to locality {peer_id}: {e}")))?;
+        let shared = Arc::new(PeerShared {
+            state: Mutex::new(PeerQueue {
+                buf: Vec::new(),
+                lens: Vec::new(),
+                frames: 0,
+                first_at: None,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+        });
+        let inner = self.inner.clone();
+        let shared2 = shared.clone();
+        let writer = std::thread::Builder::new()
+            .name(format!("px-tcp-w{}-{}", self.inner.local_id, peer_id))
+            .spawn(move || writer_loop(stream, peer_id, shared2, inner))
+            .expect("failed to spawn parcelport writer thread");
+        let peer = Arc::new(Peer { id: peer_id, shared, writer: Mutex::new(Some(writer)) });
+        self.inner.peers.write().insert(peer_id, peer);
+        Ok(())
+    }
+
+    /// Parcels handed to [`Parcelport::send`] so far.
+    pub fn parcels_sent(&self) -> u64 {
+        self.inner.stats.parcels_sent.load(Ordering::Relaxed)
+    }
+
+    /// Parcels decoded off the wire so far.
+    pub fn parcels_received(&self) -> u64 {
+        self.inner.stats.parcels_received.load(Ordering::Relaxed)
+    }
+
+    /// Whether any peer connection has ever died. Once true, cluster-wide
+    /// `parcels_sent == parcels_received` can no longer be expected: frames
+    /// queued toward the dead peer will never be decoded.
+    pub fn any_peer_lost(&self) -> bool {
+        self.inner.peer_lost.load(Ordering::Acquire)
+    }
+
+    /// Bytes read off the wire so far.
+    pub fn bytes_received(&self) -> u64 {
+        self.inner.stats.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Sever the connection state for `peer` as if it died: close the
+    /// outgoing queue (senders get [`Error::PeerLost`]) and shut the
+    /// inbound streams down. Used by tests and fault injection.
+    pub fn drop_peer(&self, peer: u32) {
+        self.inner.mark_peer_lost();
+        self.inner.close_peer_queue(peer);
+    }
+}
+
+impl Parcelport for TcpParcelport {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn send(&self, parcel: Parcel) -> Result<()> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(Error::RuntimeShutDown);
+        }
+        let dest = parcel.dest_locality;
+        let peer = self
+            .inner
+            .peers
+            .read()
+            .get(&dest)
+            .cloned()
+            .ok_or(Error::UnknownLocality(dest))?;
+        let cfg = &self.inner.cfg;
+        let mut q = peer.shared.state.lock();
+        // Backpressure: block while the peer's queue is full, failing if
+        // the connection dies while we wait.
+        while !q.closed && q.buf.len() >= cfg.queue_capacity_bytes {
+            peer.shared.space.wait_for(&mut q, Duration::from_millis(50));
+            if self.inner.shutdown.load(Ordering::Acquire) {
+                return Err(Error::RuntimeShutDown);
+            }
+        }
+        if q.closed {
+            return Err(Error::PeerLost(peer.id));
+        }
+        if q.first_at.is_none() {
+            q.first_at = Some(Instant::now());
+        }
+        let before = q.buf.len();
+        frame::encode(&parcel, &mut q.buf);
+        let len = q.buf.len() - before;
+        q.lens.push(len);
+        q.frames += 1;
+        drop(q);
+        peer.shared.ready.notify_one();
+        self.inner.stats.parcels_sent.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn pending(&self) -> usize {
+        self.inner
+            .peers
+            .read()
+            .values()
+            .map(|p| p.shared.state.lock().frames)
+            .sum()
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.inner.stats.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    fn writes(&self) -> u64 {
+        self.inner.stats.writes.load(Ordering::Relaxed)
+    }
+
+    fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Close every outgoing queue and join the writers (they flush
+        // what's already queued, then drop their streams).
+        let peers: Vec<Arc<Peer>> = self.inner.peers.read().values().cloned().collect();
+        for peer in &peers {
+            let mut q = peer.shared.state.lock();
+            q.closed = true;
+            drop(q);
+            peer.shared.ready.notify_all();
+            peer.shared.space.notify_all();
+        }
+        for peer in &peers {
+            if let Some(t) = peer.writer.lock().take() {
+                let _ = t.join();
+            }
+        }
+        // Unblock the accept loop with a throwaway connection, then join.
+        let _ = TcpStream::connect(self.listener_addr);
+        if let Some(t) = self.accept.lock().take() {
+            let _ = t.join();
+        }
+        // Force blocked readers out of `read` and join them.
+        let readers = std::mem::take(&mut *self.readers.lock());
+        for (stream, thread) in readers {
+            let _ = stream.shutdown(Shutdown::Both);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for TcpParcelport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    inner: Arc<Inner>,
+    readers: ReaderRegistry,
+) {
+    for conn in listener.incoming() {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(mut stream) = conn else { continue };
+        // Hello handshake: the 4-byte id of the connecting locality.
+        let mut hello = [0u8; 4];
+        if stream.read_exact(&mut hello).is_err() {
+            continue;
+        }
+        let peer_id = u32::from_le_bytes(hello);
+        let _ = stream.set_nodelay(true);
+        let Ok(registered) = stream.try_clone() else { continue };
+        let inner2 = inner.clone();
+        let reader = std::thread::Builder::new()
+            .name(format!("px-tcp-r{}-{}", inner.local_id, peer_id))
+            .spawn(move || reader_loop(stream, peer_id, inner2))
+            .expect("failed to spawn parcelport reader thread");
+        readers.lock().push((registered, reader));
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, peer_id: u32, inner: Arc<Inner>) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 64 << 10];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        inner.stats.bytes_received.fetch_add(n as u64, Ordering::Relaxed);
+        buf.extend_from_slice(&chunk[..n]);
+        loop {
+            match frame::decode(&buf) {
+                Ok((parcel, used)) => {
+                    buf.drain(..used);
+                    // Emit before counting: once `parcels_received` matches
+                    // the sender's `parcels_sent`, every parcel is
+                    // guaranteed to have reached the sink (the cluster's
+                    // idle check relies on this ordering).
+                    inner.emit(PortEvent::Deliver(parcel));
+                    inner.stats.parcels_received.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(frame::DecodeError::Incomplete { .. }) => break,
+                Err(frame::DecodeError::Malformed(m)) => {
+                    eprintln!(
+                        "parallex: dropping corrupt connection from locality {peer_id}: {m}"
+                    );
+                    let _ = stream.shutdown(Shutdown::Both);
+                    inner.close_peer_queue(peer_id);
+                    inner.mark_peer_lost();
+                    inner.emit(PortEvent::PeerLost(peer_id));
+                    return;
+                }
+            }
+        }
+    }
+    // EOF or I/O error: the peer is gone. Fail our sends toward it and
+    // tell the owner so pending responses resolve instead of hanging.
+    inner.close_peer_queue(peer_id);
+    inner.mark_peer_lost();
+    inner.emit(PortEvent::PeerLost(peer_id));
+}
+
+fn writer_loop(mut stream: TcpStream, peer_id: u32, shared: Arc<PeerShared>, inner: Arc<Inner>) {
+    loop {
+        let (batch, lens) = {
+            let mut q = shared.state.lock();
+            loop {
+                if q.buf.is_empty() {
+                    if q.closed {
+                        return;
+                    }
+                    shared.ready.wait_for(&mut q, Duration::from_millis(50));
+                    continue;
+                }
+                // Coalescing window: hold small frames until the size or
+                // time threshold trips (or the queue is closing).
+                let deadline = q.first_at.expect("non-empty queue has a first_at")
+                    + inner.cfg.coalesce_max_delay;
+                if q.closed
+                    || q.buf.len() >= inner.cfg.coalesce_max_bytes
+                    || Instant::now() >= deadline
+                {
+                    break;
+                }
+                shared.ready.wait_until(&mut q, deadline);
+            }
+            let batch = std::mem::take(&mut q.buf);
+            let lens = std::mem::take(&mut q.lens);
+            q.frames = 0;
+            q.first_at = None;
+            shared.space.notify_all();
+            (batch, lens)
+        };
+        // Split the drained batch into write units: whole frames packed
+        // greedily up to `coalesce_max_bytes` per physical write (always
+        // at least one frame per unit, so oversized frames still go out).
+        let mut units: Vec<usize> = Vec::new();
+        let mut unit = 0usize;
+        for len in &lens {
+            if unit > 0 && unit + len > inner.cfg.coalesce_max_bytes {
+                units.push(unit);
+                unit = 0;
+            }
+            unit += len;
+        }
+        if unit > 0 {
+            units.push(unit);
+        }
+        let mut start = 0usize;
+        for unit_len in units {
+            if stream.write_all(&batch[start..start + unit_len]).is_err() {
+                inner.close_peer_queue(peer_id);
+                inner.mark_peer_lost();
+                inner.emit(PortEvent::PeerLost(peer_id));
+                return;
+            }
+            inner.stats.writes.fetch_add(1, Ordering::Relaxed);
+            inner.stats.bytes_sent.fetch_add(unit_len as u64, Ordering::Relaxed);
+            start += unit_len;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agas::Gid;
+    use bytes::Bytes;
+    use std::sync::mpsc;
+
+    fn parcel(dest: u32, payload: &[u8]) -> Parcel {
+        Parcel {
+            source: 0,
+            dest_locality: dest,
+            dest: Gid { origin: dest, lid: 1 },
+            action: 7,
+            payload: Bytes::from(payload.to_vec()),
+            response_token: None,
+        }
+    }
+
+    fn loopback() -> SocketAddr {
+        "127.0.0.1:0".parse().unwrap()
+    }
+
+    /// Two ports wired A→B; returns (A, B, receiver of B's events).
+    fn pair(cfg: TcpConfig) -> (Arc<TcpParcelport>, Arc<TcpParcelport>, mpsc::Receiver<PortEvent>) {
+        let (tx, rx) = mpsc::channel();
+        let sink_b: PortSink = Arc::new(move |ev| {
+            let _ = tx.send(ev);
+        });
+        let sink_a: PortSink = Arc::new(|_| {});
+        let a = TcpParcelport::bind(0, loopback(), sink_a, cfg.clone()).unwrap();
+        let b = TcpParcelport::bind(1, loopback(), sink_b, cfg).unwrap();
+        a.connect_peer(1, b.local_addr()).unwrap();
+        (a, b, rx)
+    }
+
+    fn recv_parcels(rx: &mpsc::Receiver<PortEvent>, n: usize) -> Vec<Parcel> {
+        let mut got = Vec::new();
+        while got.len() < n {
+            match rx.recv_timeout(Duration::from_secs(5)).expect("parcel arrives") {
+                PortEvent::Deliver(p) => got.push(p),
+                PortEvent::PeerLost(l) => panic!("unexpected peer loss of {l}"),
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn parcels_cross_a_real_socket_in_order() {
+        let (a, b, rx) = pair(TcpConfig::default());
+        for i in 0..20u8 {
+            a.send(parcel(1, &[i; 32])).unwrap();
+        }
+        let got = recv_parcels(&rx, 20);
+        for (i, p) in got.iter().enumerate() {
+            assert_eq!(p.payload[0], i as u8, "in-order delivery");
+            assert_eq!(p.action, 7);
+        }
+        assert_eq!(a.parcels_sent(), 20);
+        assert_eq!(b.parcels_received(), 20);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn coalescing_flushes_on_size_threshold() {
+        // Timer threshold far away: only the size threshold can flush.
+        let cfg = TcpConfig {
+            coalesce_max_bytes: 4 * (frame::HEADER_LEN + 8),
+            coalesce_max_delay: Duration::from_secs(10),
+            ..TcpConfig::default()
+        };
+        let (a, b, rx) = pair(cfg);
+        for i in 0..16u8 {
+            a.send(parcel(1, &[i; 8])).unwrap();
+        }
+        recv_parcels(&rx, 16);
+        let writes = a.writes();
+        assert!(writes >= 1, "at least one flush");
+        assert!(writes < 16, "coalescing must batch frames, got {writes} writes for 16 parcels");
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn coalescing_flushes_on_timer_threshold() {
+        // Size threshold unreachable: only the timer can flush.
+        let cfg = TcpConfig {
+            coalesce_max_bytes: 1 << 20,
+            coalesce_max_delay: Duration::from_millis(30),
+            ..TcpConfig::default()
+        };
+        let (a, b, rx) = pair(cfg);
+        let t0 = Instant::now();
+        for i in 0..3u8 {
+            a.send(parcel(1, &[i; 8])).unwrap();
+        }
+        recv_parcels(&rx, 3);
+        assert!(
+            t0.elapsed() >= Duration::from_millis(25),
+            "frames should have been held for the coalescing window"
+        );
+        assert_eq!(a.writes(), 1, "one batch for all frames queued in the window");
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn sends_to_unknown_peer_are_typed_errors() {
+        let (a, b, _rx) = pair(TcpConfig::default());
+        assert!(matches!(a.send(parcel(9, b"x")), Err(Error::UnknownLocality(9))));
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn peer_death_surfaces_as_peer_lost() {
+        let (a, b, _rx) = pair(TcpConfig::default());
+        // B also connects back to A so A has an inbound stream from B
+        // whose EOF announces B's death.
+        b.connect_peer(0, a.local_addr()).unwrap();
+        a.send(parcel(1, b"before")).unwrap();
+        b.shutdown();
+        // Eventually the writer or a fresh send observes the dead peer.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match a.send(parcel(1, b"after")) {
+                Err(Error::PeerLost(1)) => break,
+                Ok(_) | Err(_) => {
+                    assert!(Instant::now() < deadline, "send never failed with PeerLost");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+        a.shutdown();
+    }
+}

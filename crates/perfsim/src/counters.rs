@@ -7,7 +7,7 @@
 //! so Tables III–VI regenerate for the reference grid and extrapolate to
 //! any other grid size.
 
-use crate::kernel::{jacobi2d_coeffs, Provenance, Vectorization};
+use crate::kernel::{jacobi2d_coeffs, KernelError, Provenance, Vectorization};
 use parallex::introspect::{CounterPath, CounterSnapshot, Instance};
 use parallex_machine::spec::ProcessorId;
 
@@ -94,21 +94,25 @@ pub fn measure(
     nx: usize,
     ny: usize,
     steps: usize,
-) -> HwCounters {
+) -> Result<HwCounters, KernelError> {
     let lups = nx as f64 * ny as f64 * steps as f64;
-    let c = jacobi2d_coeffs(proc, elem_bytes, vec);
-    HwCounters {
+    let c = jacobi2d_coeffs(proc, elem_bytes, vec)?;
+    Ok(HwCounters {
         instructions: c.instr * lups,
         cache_misses: c.cache_misses * lups,
         l2_misses: c.l2_misses * lups,
         fe_stalls: c.fe_stalls * lups,
         be_stalls: c.be_stalls * lups,
         stall_provenance: c.stall_provenance,
-    }
+    })
 }
 
 /// [`measure`] at the paper's counter workload (8192 × 16384, 100 steps).
-pub fn measure_reference(proc: ProcessorId, elem_bytes: usize, vec: Vectorization) -> HwCounters {
+pub fn measure_reference(
+    proc: ProcessorId,
+    elem_bytes: usize,
+    vec: Vectorization,
+) -> Result<HwCounters, KernelError> {
     measure(proc, elem_bytes, vec, 8192, 16384, 100)
 }
 
@@ -130,7 +134,7 @@ mod tests {
             (Explicit, 8, 3.507e10, 8.751e8),
         ];
         for (vec, bytes, instr, miss) in rows {
-            let m = measure_reference(ProcessorId::XeonE5_2660v3, bytes, vec);
+            let m = measure_reference(ProcessorId::XeonE5_2660v3, bytes, vec).unwrap();
             close(m.instructions, instr);
             close(m.cache_misses, miss);
             assert!(!m.stalls_supported(), "paper: Xeon lacks stall counters");
@@ -146,7 +150,7 @@ mod tests {
             (Explicit, 8, 8.236e10, 4.953e9),
         ];
         for (vec, bytes, instr, miss) in rows {
-            let m = measure_reference(ProcessorId::Kunpeng916, bytes, vec);
+            let m = measure_reference(ProcessorId::Kunpeng916, bytes, vec).unwrap();
             close(m.instructions, instr);
             close(m.cache_misses, miss);
             assert!(!m.stalls_supported());
@@ -162,7 +166,7 @@ mod tests {
             (Explicit, 8, 2.956e10, 3.56e8, 1.443e10),
         ];
         for (vec, bytes, instr, fe, be) in rows {
-            let m = measure_reference(ProcessorId::A64FX, bytes, vec);
+            let m = measure_reference(ProcessorId::A64FX, bytes, vec).unwrap();
             close(m.instructions, instr);
             close(m.fe_stalls, fe);
             close(m.be_stalls, be);
@@ -179,7 +183,7 @@ mod tests {
             (Explicit, 8, 8.756e10, 6.055e9, 2.826e10),
         ];
         for (vec, bytes, instr, l2, be) in rows {
-            let m = measure_reference(ProcessorId::ThunderX2, bytes, vec);
+            let m = measure_reference(ProcessorId::ThunderX2, bytes, vec).unwrap();
             close(m.instructions, instr);
             close(m.l2_misses, l2);
             close(m.be_stalls, be);
@@ -188,15 +192,15 @@ mod tests {
 
     #[test]
     fn counts_scale_linearly_with_grid() {
-        let small = measure(ProcessorId::A64FX, 8, Auto, 1024, 1024, 10);
-        let big = measure(ProcessorId::A64FX, 8, Auto, 2048, 1024, 10);
+        let small = measure(ProcessorId::A64FX, 8, Auto, 1024, 1024, 10).unwrap();
+        let big = measure(ProcessorId::A64FX, 8, Auto, 2048, 1024, 10).unwrap();
         close(big.instructions, 2.0 * small.instructions);
         close(big.be_stalls, 2.0 * small.be_stalls);
     }
 
     #[test]
     fn snapshot_uses_parseable_native_paths() {
-        let m = measure_reference(ProcessorId::A64FX, 8, Auto);
+        let m = measure_reference(ProcessorId::A64FX, 8, Auto).unwrap();
         let snap = m.as_snapshot(1);
         assert_eq!(snap.len(), 5);
         for (p, v) in snap.iter() {
@@ -212,7 +216,7 @@ mod tests {
 
     #[test]
     fn event_read_api_matches_fields() {
-        let m = measure_reference(ProcessorId::ThunderX2, 4, Explicit);
+        let m = measure_reference(ProcessorId::ThunderX2, 4, Explicit).unwrap();
         assert_eq!(m.read(HwEvent::Instructions), m.instructions);
         assert_eq!(m.read(HwEvent::CacheMisses), m.cache_misses);
         assert_eq!(m.read(HwEvent::L2CacheMisses), m.l2_misses);

@@ -17,7 +17,7 @@
 //! including the Kunpeng NUMA dips, the A64FX between-the-peaks placement
 //! and the ThunderX2 explicit-vectorization switch.
 
-use crate::kernel::{issue_width, jacobi2d_coeffs, Vectorization};
+use crate::kernel::{issue_width, jacobi2d_coeffs, KernelError, Vectorization};
 use parallex_machine::cache::bytes_per_lup;
 use parallex_machine::numa::{DomainPopulation, MemorySystem};
 use parallex_machine::spec::{Processor, ProcessorId};
@@ -77,9 +77,13 @@ fn explicit(vec: Vectorization) -> bool {
 }
 
 /// Seconds one core spends per LUP on the pipeline side.
-pub fn pipeline_time_per_lup_s(proc: &Processor, elem_bytes: usize, vec: Vectorization) -> f64 {
-    let coeffs = jacobi2d_coeffs(proc.id, elem_bytes, vec);
-    coeffs.cycles_per_lup(issue_width(proc.id)) / (proc.clock_ghz * 1e9)
+pub fn pipeline_time_per_lup_s(
+    proc: &Processor,
+    elem_bytes: usize,
+    vec: Vectorization,
+) -> Result<f64, KernelError> {
+    let coeffs = jacobi2d_coeffs(proc.id, elem_bytes, vec)?;
+    Ok(coeffs.cycles_per_lup(issue_width(proc.id)) / (proc.clock_ghz * 1e9))
 }
 
 /// Seconds the slowest core spends per LUP on the memory side at a given
@@ -98,7 +102,10 @@ pub fn memory_time_per_lup_s(
 }
 
 /// Modeled node throughput in GLUP/s at `cores` active cores.
-pub fn glups_at(cfg: &Stencil2dConfig, cores: usize) -> f64 {
+///
+/// Errs (instead of crashing) when the config names an element size the
+/// kernel model has no calibration for.
+pub fn glups_at(cfg: &Stencil2dConfig, cores: usize) -> Result<f64, KernelError> {
     glups_with(cfg, cores, 1)
 }
 
@@ -114,11 +121,19 @@ pub fn glups_at(cfg: &Stencil2dConfig, cores: usize) -> f64 {
 ///
 /// # Panics
 /// Panics if `threads_per_core` exceeds the hardware SMT width.
-pub fn glups_at_smt(cfg: &Stencil2dConfig, cores: usize, threads_per_core: usize) -> f64 {
+pub fn glups_at_smt(
+    cfg: &Stencil2dConfig,
+    cores: usize,
+    threads_per_core: usize,
+) -> Result<f64, KernelError> {
     glups_with(cfg, cores, threads_per_core)
 }
 
-fn glups_with(cfg: &Stencil2dConfig, cores: usize, threads_per_core: usize) -> f64 {
+fn glups_with(
+    cfg: &Stencil2dConfig,
+    cores: usize,
+    threads_per_core: usize,
+) -> Result<f64, KernelError> {
     let proc = cfg.proc.spec();
     assert!(cores >= 1 && cores <= proc.total_cores());
     assert!(
@@ -127,7 +142,7 @@ fn glups_with(cfg: &Stencil2dConfig, cores: usize, threads_per_core: usize) -> f
         proc.id,
         proc.threads_per_core
     );
-    let pipe = pipeline_time_per_lup_s(&proc, cfg.elem_bytes, cfg.vec);
+    let pipe = pipeline_time_per_lup_s(&proc, cfg.elem_bytes, cfg.vec)?;
     let mem = if threads_per_core == 1 {
         memory_time_per_lup_s(&proc, cfg.elem_bytes, cfg.vec, cores)
     } else {
@@ -149,7 +164,7 @@ fn glups_with(cfg: &Stencil2dConfig, cores: usize, threads_per_core: usize) -> f
     let overhead_per_step =
         cfg.task_overhead_ns * 1e-9 * (tasks as f64 / cores as f64).max(1.0);
     let step_time = compute_per_step + overhead_per_step;
-    lups_per_step / step_time / 1e9
+    Ok(lups_per_step / step_time / 1e9)
 }
 
 /// A hypothetical machine to project the benchmark onto: a custom
@@ -172,18 +187,18 @@ pub struct CustomMachine {
 }
 
 /// Modeled node throughput of the paper's 2D stencil on a custom machine,
-/// GLUP/s at `cores` active cores.
+/// GLUP/s at `cores` active cores. Errs on an uncalibrated element size.
 ///
 /// # Panics
-/// Panics if `cores` exceeds the machine or `elem_bytes` is not 4/8.
+/// Panics if `cores` exceeds the machine.
 pub fn glups_custom(
     m: &CustomMachine,
     elem_bytes: usize,
     vec: Vectorization,
     cores: usize,
-) -> f64 {
+) -> Result<f64, KernelError> {
     assert!(cores >= 1 && cores <= m.proc.total_cores());
-    let coeffs = jacobi2d_coeffs(m.coeffs_from, elem_bytes, vec);
+    let coeffs = jacobi2d_coeffs(m.coeffs_from, elem_bytes, vec)?;
     // Scale the pipeline work by the vector-width ratio between the donor
     // ISA and the custom machine (wider registers retire more LUPs per
     // instruction for the explicitly vectorized kernel).
@@ -202,22 +217,22 @@ pub fn glups_custom(
         * elem_bytes as f64;
     let mem = bytes / (ms.min_per_core_bw(&pop) * 1e9);
     let per_lup = pipe.max(mem);
-    cores as f64 / per_lup / 1e9
+    Ok(cores as f64 / per_lup / 1e9)
 }
 
 /// Modeled wall-clock of the whole run, seconds.
-pub fn wall_time_s(cfg: &Stencil2dConfig, cores: usize) -> f64 {
-    cfg.total_lups() / (glups_at(cfg, cores) * 1e9)
+pub fn wall_time_s(cfg: &Stencil2dConfig, cores: usize) -> Result<f64, KernelError> {
+    Ok(cfg.total_lups() / (glups_at(cfg, cores)? * 1e9))
 }
 
 /// The `(cores, GLUP/s)` series for a machine's standard core sweep — one
 /// line of Figs. 4–8.
-pub fn series(cfg: &Stencil2dConfig) -> Vec<(usize, f64)> {
+pub fn series(cfg: &Stencil2dConfig) -> Result<Vec<(usize, f64)>, KernelError> {
     cfg.proc
         .spec()
         .core_sweep()
         .into_iter()
-        .map(|c| (c, glups_at(cfg, c)))
+        .map(|c| Ok((c, glups_at(cfg, c)?)))
         .collect()
 }
 
@@ -228,7 +243,7 @@ mod tests {
 
     fn peak_glups(cfg: &Stencil2dConfig) -> f64 {
         let p = cfg.proc.spec();
-        glups_at(cfg, p.total_cores())
+        glups_at(cfg, p.total_cores()).unwrap()
     }
 
     #[test]
@@ -238,7 +253,7 @@ mod tests {
         let auto = Stencil2dConfig::paper(ProcessorId::XeonE5_2660v3, 4, Auto);
         let expl = Stencil2dConfig::paper(ProcessorId::XeonE5_2660v3, 4, Explicit);
         let best_gain = (1..=20)
-            .map(|c| glups_at(&expl, c) / glups_at(&auto, c))
+            .map(|c| glups_at(&expl, c).unwrap() / glups_at(&auto, c).unwrap())
             .fold(0.0f64, f64::max);
         assert!((1.35..1.75).contains(&best_gain), "{best_gain}");
     }
@@ -249,7 +264,7 @@ mod tests {
         let auto = Stencil2dConfig::paper(ProcessorId::XeonE5_2660v3, 8, Auto);
         let expl = Stencil2dConfig::paper(ProcessorId::XeonE5_2660v3, 8, Explicit);
         let best_gain = (1..=20)
-            .map(|c| glups_at(&expl, c) / glups_at(&auto, c))
+            .map(|c| glups_at(&expl, c).unwrap() / glups_at(&auto, c).unwrap())
             .fold(0.0f64, f64::max);
         assert!((1.02..1.25).contains(&best_gain), "{best_gain}");
     }
@@ -267,7 +282,7 @@ mod tests {
     #[test]
     fn kunpeng_dips_at_40_and_56_cores() {
         let cfg = Stencil2dConfig::paper(ProcessorId::Kunpeng916, 4, Explicit);
-        let g = |c| glups_at(&cfg, c);
+        let g = |c| glups_at(&cfg, c).unwrap();
         assert!(g(40) < g(32), "40-core dip: {} vs {}", g(40), g(32));
         assert!(g(48) > g(40));
         assert!(g(56) < g(48), "56-core dip");
@@ -297,8 +312,8 @@ mod tests {
         // ahead (the AI regime switch).
         let auto = Stencil2dConfig::paper(ProcessorId::ThunderX2, 4, Auto);
         let expl = Stencil2dConfig::paper(ProcessorId::ThunderX2, 4, Explicit);
-        let low = glups_at(&expl, 8) / glups_at(&auto, 8);
-        let high = glups_at(&expl, 32) / glups_at(&auto, 32);
+        let low = glups_at(&expl, 8).unwrap() / glups_at(&auto, 8).unwrap();
+        let high = glups_at(&expl, 32).unwrap() / glups_at(&auto, 32).unwrap();
         assert!(low < 1.15, "{low}");
         assert!(high > 1.3, "{high}");
     }
@@ -310,7 +325,7 @@ mod tests {
         let expl = Stencil2dConfig::paper(ProcessorId::A64FX, 4, Explicit);
         let best_gain = [1, 4, 12, 24, 36, 48]
             .iter()
-            .map(|&c| glups_at(&expl, c) / glups_at(&auto, c))
+            .map(|&c| glups_at(&expl, c).unwrap() / glups_at(&auto, c).unwrap())
             .fold(0.0f64, f64::max);
         assert!((1.02..1.2).contains(&best_gain), "{best_gain}");
     }
@@ -321,10 +336,10 @@ mod tests {
         // about 3.5s for scalar and vector doubles" at 48 cores.
         for vec in [Auto, Explicit] {
             let f = Stencil2dConfig::paper(ProcessorId::A64FX, 4, vec);
-            let t = wall_time_s(&f, 48);
+            let t = wall_time_s(&f, 48).unwrap();
             assert!(t < 2.2, "float {vec:?}: {t}");
             let d = Stencil2dConfig::paper(ProcessorId::A64FX, 8, vec);
-            let t = wall_time_s(&d, 48);
+            let t = wall_time_s(&d, 48).unwrap();
             assert!((2.8..4.2).contains(&t), "double {vec:?}: {t}");
         }
     }
@@ -335,7 +350,7 @@ mod tests {
         // rooflines at full node.
         let p = ProcessorId::A64FX.spec();
         let cfg = Stencil2dConfig::paper(ProcessorId::A64FX, 4, Explicit);
-        let measured = glups_at(&cfg, 48);
+        let measured = glups_at(&cfg, 48).unwrap();
         let peak_min = parallex_roofline_expected(&p, 4, 48, 3.0);
         let peak_max = parallex_roofline_expected(&p, 4, 48, 2.0);
         assert!(measured > peak_min, "{measured} vs min {peak_min}");
@@ -373,8 +388,8 @@ mod tests {
         for vec in [Auto, Explicit] {
             let base = Stencil2dConfig::paper(ProcessorId::A64FX, 4, vec);
             let large = Stencil2dConfig::paper_large(ProcessorId::A64FX, 4, vec);
-            let a = glups_at(&base, 48);
-            let b = glups_at(&large, 48);
+            let a = glups_at(&base, 48).unwrap();
+            let b = glups_at(&large, 48).unwrap();
             assert!((a - b).abs() / a < 0.02, "{a} vs {b}");
         }
     }
@@ -388,9 +403,9 @@ mod tests {
                 for vec in [Auto, Explicit] {
                     let cfg = Stencil2dConfig::paper(id, bytes, vec);
                     for cores in [1, id.spec().total_cores()] {
-                        let pinned = glups_at(&cfg, cores);
+                        let pinned = glups_at(&cfg, cores).unwrap();
                         for t in 2..=smt {
-                            let ht = glups_at_smt(&cfg, cores, t);
+                            let ht = glups_at_smt(&cfg, cores, t).unwrap();
                             assert!(
                                 ht <= pinned * 1.0001,
                                 "{id:?} {bytes}B {vec:?} @{cores}x{t}: {ht} > {pinned}"
@@ -416,7 +431,7 @@ mod tests {
                 for vec in [Auto, Explicit] {
                     let cfg = Stencil2dConfig::paper(id, bytes, vec);
                     for c in id.spec().core_sweep() {
-                        let g = glups_at(&cfg, c);
+                        let g = glups_at(&cfg, c).unwrap();
                         assert!(g.is_finite() && g > 0.0, "{id:?} {bytes} {vec:?} @{c}: {g}");
                     }
                 }
@@ -433,16 +448,16 @@ mod tests {
         let mut fine = coarse.clone();
         fine.ny = 1024; // small grid => overhead no longer amortized
         fine.tasks_per_step = 131_072; // one task per row of the big grid
-        let g_coarse = glups_at(&coarse, 48);
-        let g_fine = glups_at(&fine, 48);
+        let g_coarse = glups_at(&coarse, 48).unwrap();
+        let g_fine = glups_at(&fine, 48).unwrap();
         assert!(g_fine < g_coarse * 0.5, "{g_fine} vs {g_coarse}");
     }
 
     #[test]
     fn wall_time_is_consistent_with_glups() {
         let cfg = Stencil2dConfig::paper(ProcessorId::XeonE5_2660v3, 8, Auto);
-        let g = glups_at(&cfg, 20);
-        let t = wall_time_s(&cfg, 20);
+        let g = glups_at(&cfg, 20).unwrap();
+        let t = wall_time_s(&cfg, 20).unwrap();
         assert!((t - cfg.total_lups() / (g * 1e9)).abs() < 1e-9);
     }
 
@@ -457,8 +472,8 @@ mod tests {
             blocking: parallex_machine::cache::CacheBlocking::of(donor),
         };
         for cores in [12usize, 48] {
-            let custom = glups_custom(&m, 4, Explicit, cores);
-            let plain = glups_at(&Stencil2dConfig::paper(donor, 4, Explicit), cores);
+            let custom = glups_custom(&m, 4, Explicit, cores).unwrap();
+            let plain = glups_at(&Stencil2dConfig::paper(donor, 4, Explicit), cores).unwrap();
             let err = (custom - plain).abs() / plain;
             assert!(err < 0.02, "@{cores}: {custom} vs {plain}");
         }
@@ -491,13 +506,13 @@ mod tests {
             coeffs_from: ProcessorId::A64FX,
             blocking: parallex_machine::cache::CacheBlocking::None,
         };
-        let g = glups_custom(&epi, 4, Explicit, 64);
+        let g = glups_custom(&epi, 4, Explicit, 64).unwrap();
         // Memory-bound: 300 GB/s / 12 B = 25 GLUP/s roof.
         assert!(g > 10.0 && g <= 25.1, "{g}");
         // Narrower SVE than the donor: the explicit pipeline is slower per
         // instruction stream, so at 1 core the custom machine is below a
         // same-clock A64FX.
-        let one = glups_custom(&epi, 4, Explicit, 1);
+        let one = glups_custom(&epi, 4, Explicit, 1).unwrap();
         assert!(one > 0.0 && one < 3.0, "{one}");
     }
 

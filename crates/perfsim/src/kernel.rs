@@ -16,10 +16,33 @@
 //! [`Provenance::Estimated`] and excluded from the reproduced tables.
 
 use parallex_machine::spec::ProcessorId;
+use std::fmt;
 
 /// LUPs of the counter-measurement workload (Section VI "Hardware
 /// Counters": 8192 × 16384 grid, 100 iterations, one core).
 pub const REF_LUPS: f64 = 8192.0 * 16384.0 * 100.0;
+
+/// A kernel model was asked about a configuration it has no
+/// calibration for. The simulator surfaces this instead of crashing on
+/// user-supplied input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelError {
+    /// `elem_bytes` was neither 4 (`f32`) nor 8 (`f64`) — the only
+    /// element types the paper's tables calibrate.
+    BadElemBytes(usize),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::BadElemBytes(b) => {
+                write!(f, "elem_bytes must be 4 (f32) or 8 (f64), got {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
 
 /// Whether a coefficient comes from the paper's tables or is our fit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,13 +66,13 @@ pub enum Vectorization {
 
 impl Vectorization {
     /// The paper's table row labels ("Float" vs "Vector Float").
-    pub fn label(self, elem_bytes: usize) -> &'static str {
+    pub fn label(self, elem_bytes: usize) -> Result<&'static str, KernelError> {
         match (self, elem_bytes) {
-            (Vectorization::Auto, 4) => "Float",
-            (Vectorization::Explicit, 4) => "Vector Float",
-            (Vectorization::Auto, 8) => "Double",
-            (Vectorization::Explicit, 8) => "Vector Double",
-            _ => panic!("elem_bytes must be 4 or 8"),
+            (Vectorization::Auto, 4) => Ok("Float"),
+            (Vectorization::Explicit, 4) => Ok("Vector Float"),
+            (Vectorization::Auto, 8) => Ok("Double"),
+            (Vectorization::Explicit, 8) => Ok("Vector Double"),
+            _ => Err(KernelError::BadElemBytes(elem_bytes)),
         }
     }
 }
@@ -92,9 +115,13 @@ pub fn issue_width(id: ProcessorId) -> f64 {
 
 /// The calibrated coefficients for the 2D Jacobi kernel.
 ///
-/// # Panics
-/// Panics if `elem_bytes` is not 4 or 8.
-pub fn jacobi2d_coeffs(id: ProcessorId, elem_bytes: usize, vec: Vectorization) -> KernelCoeffs {
+/// Returns [`KernelError::BadElemBytes`] unless `elem_bytes` is 4 or 8
+/// — the only calibrated element types.
+pub fn jacobi2d_coeffs(
+    id: ProcessorId,
+    elem_bytes: usize,
+    vec: Vectorization,
+) -> Result<KernelCoeffs, KernelError> {
     use Vectorization::{Auto, Explicit};
     let k = |instr: f64, miss: f64, l2: f64, fe: f64, be: f64, prov: Provenance| KernelCoeffs {
         instr: instr / REF_LUPS,
@@ -107,7 +134,7 @@ pub fn jacobi2d_coeffs(id: ProcessorId, elem_bytes: usize, vec: Vectorization) -
     // Estimated stall-cycles-per-LUP (entered as absolute counts for
     // uniformity: value * REF_LUPS).
     let est = |c: f64| c * REF_LUPS;
-    match (id, elem_bytes, vec) {
+    let coeffs = match (id, elem_bytes, vec) {
         // ---- Table III: Intel Xeon E5-2660 v3 (stall counters
         // unsupported; BE estimates fitted to the +50 %/+10 % gaps). ----
         (ProcessorId::XeonE5_2660v3, 4, Auto) => {
@@ -166,8 +193,9 @@ pub fn jacobi2d_coeffs(id: ProcessorId, elem_bytes: usize, vec: Vectorization) -
         (ProcessorId::ThunderX2, 8, Explicit) => {
             k(8.756e10, 6.055e9, 6.055e9, 7.867e7, 2.826e10, Provenance::Paper)
         }
-        _ => panic!("elem_bytes must be 4 or 8"),
-    }
+        _ => return Err(KernelError::BadElemBytes(elem_bytes)),
+    };
+    Ok(coeffs)
 }
 
 /// Calibrated core-side cycles per LUP of the (double-precision) 1D heat
@@ -202,9 +230,9 @@ mod tests {
         // Section VII-B: "a 2x difference in instruction count between
         // scalar and vector types" on Xeon.
         for bytes in [4, 8] {
-            let auto = jacobi2d_coeffs(ProcessorId::XeonE5_2660v3, bytes, Vectorization::Auto);
+            let auto = jacobi2d_coeffs(ProcessorId::XeonE5_2660v3, bytes, Vectorization::Auto).unwrap();
             let expl =
-                jacobi2d_coeffs(ProcessorId::XeonE5_2660v3, bytes, Vectorization::Explicit);
+                jacobi2d_coeffs(ProcessorId::XeonE5_2660v3, bytes, Vectorization::Explicit).unwrap();
             let ratio = auto.instr / expl.instr;
             assert!((1.6..2.1).contains(&ratio), "{bytes}: {ratio}");
         }
@@ -213,16 +241,16 @@ mod tests {
     #[test]
     fn kunpeng_instruction_delta_is_small() {
         // Section VII-B: "a mere 5% improvement in instruction count".
-        let auto = jacobi2d_coeffs(ProcessorId::Kunpeng916, 4, Vectorization::Auto);
-        let expl = jacobi2d_coeffs(ProcessorId::Kunpeng916, 4, Vectorization::Explicit);
+        let auto = jacobi2d_coeffs(ProcessorId::Kunpeng916, 4, Vectorization::Auto).unwrap();
+        let expl = jacobi2d_coeffs(ProcessorId::Kunpeng916, 4, Vectorization::Explicit).unwrap();
         let delta = (auto.instr - expl.instr) / auto.instr;
         assert!((0.0..0.08).contains(&delta), "{delta}");
     }
 
     #[test]
     fn kunpeng_cache_misses_drop_10_to_20_percent_with_explicit_vec() {
-        let auto = jacobi2d_coeffs(ProcessorId::Kunpeng916, 4, Vectorization::Auto);
-        let expl = jacobi2d_coeffs(ProcessorId::Kunpeng916, 4, Vectorization::Explicit);
+        let auto = jacobi2d_coeffs(ProcessorId::Kunpeng916, 4, Vectorization::Auto).unwrap();
+        let expl = jacobi2d_coeffs(ProcessorId::Kunpeng916, 4, Vectorization::Explicit).unwrap();
         let drop = 1.0 - expl.cache_misses / auto.cache_misses;
         assert!((0.1..0.25).contains(&drop), "{drop}");
     }
@@ -232,8 +260,8 @@ mod tests {
         // Section VII-B: "GCC does a better job of optimizing the
         // instruction count than our explicitly vectorized code".
         for bytes in [4, 8] {
-            let auto = jacobi2d_coeffs(ProcessorId::A64FX, bytes, Vectorization::Auto);
-            let expl = jacobi2d_coeffs(ProcessorId::A64FX, bytes, Vectorization::Explicit);
+            let auto = jacobi2d_coeffs(ProcessorId::A64FX, bytes, Vectorization::Auto).unwrap();
+            let expl = jacobi2d_coeffs(ProcessorId::A64FX, bytes, Vectorization::Explicit).unwrap();
             assert!(auto.instr < expl.instr, "{bytes}");
         }
     }
@@ -241,8 +269,8 @@ mod tests {
     #[test]
     fn tx2_explicit_vec_slashes_backend_stalls() {
         // Table VI: BE stalls 1.522e10 -> 6.437e9 for floats (2.4x).
-        let auto = jacobi2d_coeffs(ProcessorId::ThunderX2, 4, Vectorization::Auto);
-        let expl = jacobi2d_coeffs(ProcessorId::ThunderX2, 4, Vectorization::Explicit);
+        let auto = jacobi2d_coeffs(ProcessorId::ThunderX2, 4, Vectorization::Auto).unwrap();
+        let expl = jacobi2d_coeffs(ProcessorId::ThunderX2, 4, Vectorization::Explicit).unwrap();
         assert!(auto.be_stalls / expl.be_stalls > 2.0);
     }
 
@@ -254,7 +282,7 @@ mod tests {
             (ProcessorId::ThunderX2, Provenance::Paper),
             (ProcessorId::A64FX, Provenance::Paper),
         ] {
-            let c = jacobi2d_coeffs(id, 8, Vectorization::Auto);
+            let c = jacobi2d_coeffs(id, 8, Vectorization::Auto).unwrap();
             assert_eq!(c.stall_provenance, want, "{id:?}");
         }
     }
@@ -276,8 +304,8 @@ mod tests {
     fn double_instr_is_about_twice_float_instr() {
         // Same vector width holds half as many doubles.
         for id in ProcessorId::ALL {
-            let f = jacobi2d_coeffs(id, 4, Vectorization::Auto).instr;
-            let d = jacobi2d_coeffs(id, 8, Vectorization::Auto).instr;
+            let f = jacobi2d_coeffs(id, 4, Vectorization::Auto).unwrap().instr;
+            let d = jacobi2d_coeffs(id, 8, Vectorization::Auto).unwrap().instr;
             let ratio = d / f;
             assert!((1.7..2.1).contains(&ratio), "{id:?}: {ratio}");
         }
@@ -285,15 +313,23 @@ mod tests {
 
     #[test]
     fn labels_match_paper_rows() {
-        assert_eq!(Vectorization::Auto.label(4), "Float");
-        assert_eq!(Vectorization::Explicit.label(4), "Vector Float");
-        assert_eq!(Vectorization::Auto.label(8), "Double");
-        assert_eq!(Vectorization::Explicit.label(8), "Vector Double");
+        assert_eq!(Vectorization::Auto.label(4), Ok("Float"));
+        assert_eq!(Vectorization::Explicit.label(4), Ok("Vector Float"));
+        assert_eq!(Vectorization::Auto.label(8), Ok("Double"));
+        assert_eq!(Vectorization::Explicit.label(8), Ok("Vector Double"));
     }
 
     #[test]
-    #[should_panic]
-    fn bad_elem_bytes_panics() {
-        let _ = jacobi2d_coeffs(ProcessorId::A64FX, 2, Vectorization::Auto);
+    fn bad_elem_bytes_is_a_typed_error_not_a_crash() {
+        for bad in [0, 2, 3, 16, usize::MAX] {
+            assert_eq!(
+                jacobi2d_coeffs(ProcessorId::A64FX, bad, Vectorization::Auto).unwrap_err(),
+                KernelError::BadElemBytes(bad),
+            );
+            assert_eq!(
+                Vectorization::Auto.label(bad).unwrap_err(),
+                KernelError::BadElemBytes(bad),
+            );
+        }
     }
 }

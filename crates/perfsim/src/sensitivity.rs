@@ -86,7 +86,8 @@ fn holds_with_bw_scale(feature: Feature, scale: f64) -> bool {
                 Stencil2dConfig::paper(ProcessorId::Kunpeng916, 4, Vectorization::Explicit);
             // Scaling bandwidth by `scale` scales the memory-bound branch;
             // emulate by comparing the scaled roof against pipeline times.
-            let gain = glups_at(&expl, 64) / glups_at(&auto, 64);
+            let gain = glups_at(&expl, 64).expect("calibrated config")
+                / glups_at(&auto, 64).expect("calibrated config");
             if scale >= 1.0 {
                 gain > 1.3 // more bandwidth only widens a pipeline-bound gap
             } else {
@@ -102,7 +103,8 @@ fn holds_with_bw_scale(feature: Feature, scale: f64) -> bool {
             let a64 = glups_at(
                 &Stencil2dConfig::paper(ProcessorId::A64FX, 4, Vectorization::Explicit),
                 48,
-            );
+            )
+            .expect("calibrated config");
             let best_other = [ProcessorId::XeonE5_2660v3, ProcessorId::Kunpeng916, ProcessorId::ThunderX2]
                 .iter()
                 .map(|&id| {
@@ -111,6 +113,7 @@ fn holds_with_bw_scale(feature: Feature, scale: f64) -> bool {
                         &Stencil2dConfig::paper(id, 4, Vectorization::Explicit),
                         p.total_cores(),
                     )
+                    .expect("calibrated config")
                 })
                 .fold(0.0f64, f64::max);
             // Adversarial reading of the probe: if scale < 1, assume only

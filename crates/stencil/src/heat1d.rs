@@ -361,6 +361,24 @@ mod tests {
     }
 
     #[test]
+    fn matches_serial_reference_over_tcp_parcelport() {
+        // Same solver, but every halo crosses a real loopback socket
+        // through the TCP parcelport (framing + coalescing).
+        let params = Heat1dParams::new(64, 25, 0.25);
+        let want = heat1d_reference(64, 25, 0.25, 0.0, 0.0, bump);
+        let cluster = Cluster::new_tcp(3, 2);
+        install(&cluster);
+        let solver = Heat1dSolver::new(&cluster, params);
+        let got = solver.run(bump);
+        let wire_parcels: u64 = cluster.tcp_ports().iter().map(|p| p.parcels_sent()).sum();
+        cluster.shutdown();
+        assert_eq!(got.len(), 64);
+        assert!(max_abs_diff(&got, &want) < 1e-14, "{}", max_abs_diff(&got, &want));
+        // 25 steps × 4 inter-locality halos per step went over sockets.
+        assert!(wire_parcels >= 100, "halos must cross the wire, got {wire_parcels}");
+    }
+
+    #[test]
     fn works_under_simulated_network_delay() {
         let params = Heat1dParams::new(48, 10, 0.25);
         let cluster = Cluster::new(3, 2);

@@ -45,22 +45,22 @@ fn main() {
         "{:<34} {:>12} {:>12} {:>12}",
         "configuration", "f32 GLUP/s", "f64 GLUP/s", "vs A64FX"
     );
-    let a64 = glups_at(&Stencil2dConfig::paper(ProcessorId::A64FX, 4, Vectorization::Explicit), 48);
+    let a64 = glups_at(&Stencil2dConfig::paper(ProcessorId::A64FX, 4, Vectorization::Explicit), 48).expect("4/8 elem bytes are calibrated");
     for (label, width, bw) in [
         ("SVE-256, DDR5 300 GB/s", 256usize, 75.0),
         ("SVE-256, DDR5 400 GB/s", 256, 100.0),
         ("SVE-512, HBM 600 GB/s", 512, 150.0),
     ] {
         let m = epi_like(width, bw);
-        let f32g = glups_custom(&m, 4, Vectorization::Explicit, 64);
-        let f64g = glups_custom(&m, 8, Vectorization::Explicit, 64);
+        let f32g = glups_custom(&m, 4, Vectorization::Explicit, 64).expect("4/8 elem bytes are calibrated");
+        let f64g = glups_custom(&m, 8, Vectorization::Explicit, 64).expect("4/8 elem bytes are calibrated");
         println!("{label:<34} {f32g:>12.2} {f64g:>12.2} {:>11.0}%", f32g / a64 * 100.0);
     }
 
     println!("\nCore-count sweep, SVE-256 / 300 GB/s variant (explicit f32):");
     let m = epi_like(256, 75.0);
     for cores in [1usize, 8, 16, 32, 48, 64] {
-        let g = glups_custom(&m, 4, Vectorization::Explicit, cores);
+        let g = glups_custom(&m, 4, Vectorization::Explicit, cores).expect("4/8 elem bytes are calibrated");
         let bar = "#".repeat((g * 2.0) as usize);
         println!("  {cores:>3} cores {g:>8.2} GLUP/s {bar}");
     }

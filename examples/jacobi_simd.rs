@@ -63,7 +63,7 @@ fn main() {
         let cores = id.spec().total_cores();
         let g = |bytes, vec| {
             let cfg = Stencil2dConfig::paper(id, bytes, vec);
-            glups_at(&cfg, cores)
+            glups_at(&cfg, cores).expect("4/8 elem bytes are calibrated")
         };
         println!(
             "{:<26} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",

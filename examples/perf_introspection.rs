@@ -26,10 +26,10 @@ fn main() {
             (8, Vectorization::Auto),
             (8, Vectorization::Explicit),
         ] {
-            let m = measure_reference(id, bytes, vec);
+            let m = measure_reference(id, bytes, vec).expect("4/8 elem bytes are calibrated");
             print!(
                 "  {:<14} instr {:>9.3e}  misses {:>9.3e}",
-                vec.label(bytes),
+                vec.label(bytes).expect("4/8 elem bytes are calibrated"),
                 m.instructions,
                 m.cache_misses
             );
@@ -75,9 +75,9 @@ fn main() {
         let spec = id.spec();
         let cfg = Stencil2dConfig::paper(id, 4, Vectorization::Explicit);
         let cores = spec.total_cores();
-        print!("  {:<24} pinned {:>7.2}", id.name(), glups_at(&cfg, cores));
+        print!("  {:<24} pinned {:>7.2}", id.name(), glups_at(&cfg, cores).expect("4/8 elem bytes are calibrated"));
         for t in 2..=spec.threads_per_core {
-            print!("  {}x-SMT {:>7.2}", t, glups_at_smt(&cfg, cores, t));
+            print!("  {}x-SMT {:>7.2}", t, glups_at_smt(&cfg, cores, t).expect("4/8 elem bytes are calibrated"));
         }
         println!();
     }

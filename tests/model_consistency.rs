@@ -24,7 +24,7 @@ fn modeled_throughput_never_beats_the_roofline() {
                     let transfers = parallex_machine::cache::CacheBlocking::of(id)
                         .transfers_per_lup(bytes, cores, vec == Vectorization::Explicit);
                     let roof = expected_peak_glups(&spec, bytes, cores, transfers);
-                    let got = glups_at(&cfg, cores);
+                    let got = glups_at(&cfg, cores).expect("4/8 elem bytes are calibrated");
                     assert!(
                         got <= roof * 1.001,
                         "{id:?} {bytes}B {vec:?} @{cores}: {got} > roof {roof}"
@@ -46,7 +46,7 @@ fn full_node_vectorized_runs_are_bandwidth_bound() {
         let transfers = parallex_machine::cache::CacheBlocking::of(id)
             .transfers_per_lup(4, cores, true);
         let roof = expected_peak_glups(&spec, 4, cores, transfers);
-        let got = glups_at(&cfg, cores);
+        let got = glups_at(&cfg, cores).expect("4/8 elem bytes are calibrated");
         assert!(got > 0.85 * roof, "{id:?}: {got} vs roof {roof}");
     }
 }
@@ -69,12 +69,12 @@ fn pipeline_vs_memory_regimes_are_as_designed() {
     // where the +80% explicit-vec headroom lives); A64FX vectorized code
     // is memory-bound at full node.
     let kp = ProcessorId::Kunpeng916.spec();
-    let pipe = pipeline_time_per_lup_s(&kp, 4, Vectorization::Auto);
+    let pipe = pipeline_time_per_lup_s(&kp, 4, Vectorization::Auto).expect("4/8 elem bytes are calibrated");
     let mem = memory_time_per_lup_s(&kp, 4, Vectorization::Auto, 64);
     assert!(pipe > mem, "Kunpeng scalar: pipeline {pipe} vs memory {mem}");
 
     let a64 = ProcessorId::A64FX.spec();
-    let pipe = pipeline_time_per_lup_s(&a64, 4, Vectorization::Explicit);
+    let pipe = pipeline_time_per_lup_s(&a64, 4, Vectorization::Explicit).expect("4/8 elem bytes are calibrated");
     let mem = memory_time_per_lup_s(&a64, 4, Vectorization::Explicit, 48);
     assert!(mem > pipe, "A64FX vec: memory {mem} vs pipeline {pipe}");
 }
@@ -87,7 +87,7 @@ fn des_and_analytic_model_agree_on_step_makespan() {
     let cores = 20;
     let cfg = Stencil2dConfig::paper(id, 8, Vectorization::Explicit);
     let spec = id.spec();
-    let per_lup_ns = pipeline_time_per_lup_s(&spec, 8, Vectorization::Explicit)
+    let per_lup_ns = pipeline_time_per_lup_s(&spec, 8, Vectorization::Explicit).expect("4/8 elem bytes are calibrated")
         .max(memory_time_per_lup_s(&spec, 8, Vectorization::Explicit, cores))
         * 1e9;
     let lups = (cfg.nx * cfg.ny) as f64;
@@ -102,7 +102,7 @@ fn des_and_analytic_model_agree_on_step_makespan() {
         4 * cores,
         per_lup_ns / cores as f64 * cores as f64, // ns per LUP on one core
     );
-    let analytic_step_s = lups / (glups_at(&cfg, cores) * 1e9);
+    let analytic_step_s = lups / (glups_at(&cfg, cores).expect("4/8 elem bytes are calibrated") * 1e9);
     let des_step_s = des.makespan_ns * 1e-9;
     let err = (des_step_s - analytic_step_s).abs() / analytic_step_s;
     assert!(err < 0.05, "DES {des_step_s} vs analytic {analytic_step_s} ({err:.3})");
@@ -148,7 +148,7 @@ fn ordering_of_machines_matches_fig2_and_fig6() {
         .iter()
         .map(|&id| {
             let cfg = Stencil2dConfig::paper(id, 4, Vectorization::Explicit);
-            glups_at(&cfg, id.spec().total_cores())
+            glups_at(&cfg, id.spec().total_cores()).expect("4/8 elem bytes are calibrated")
         })
         .collect();
     assert!(g[3] > g[2] && g[2] > g[1] && g[1] > g[0], "{g:?}");
@@ -161,8 +161,8 @@ fn fig7_grid_ablation_is_flat_but_fig5_dips_are_not() {
     let base = Stencil2dConfig::paper(ProcessorId::A64FX, 8, Vectorization::Auto);
     let large = Stencil2dConfig::paper_large(ProcessorId::A64FX, 8, Vectorization::Auto);
     for cores in [12, 24, 48] {
-        let a = glups_at(&base, cores);
-        let b = glups_at(&large, cores);
+        let a = glups_at(&base, cores).expect("4/8 elem bytes are calibrated");
+        let b = glups_at(&large, cores).expect("4/8 elem bytes are calibrated");
         assert!((a - b).abs() / a < 0.02, "@{cores}: {a} vs {b}");
     }
 
@@ -171,7 +171,7 @@ fn fig7_grid_ablation_is_flat_but_fig5_dips_are_not() {
         .spec()
         .core_sweep()
         .into_iter()
-        .map(|c| glups_at(&kp, c))
+        .map(|c| glups_at(&kp, c).expect("4/8 elem bytes are calibrated"))
         .collect();
     let non_monotone = series.windows(2).any(|w| w[1] < w[0]);
     assert!(non_monotone, "Kunpeng curve must dip: {series:?}");
