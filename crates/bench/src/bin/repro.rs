@@ -65,7 +65,7 @@ fn figure_text(title: &str, x: &str, y: &str, series: &[Series], csv: bool) -> S
     }
 }
 
-fn run(cmd: &str, sink: &Sink) -> bool {
+fn run(cmd: &str, sink: &Sink, chaos: Option<&str>) -> bool {
     let csv = sink.csv;
     let print_figure = |name: &str, title: &str, x: &str, y: &str, series: Vec<Series>| {
         sink.emit(name, figure_text(title, x, y, &series, csv));
@@ -144,16 +144,19 @@ fn run(cmd: &str, sink: &Sink) -> bool {
         "explain" => explain_experiment(sink),
         "serve" => serve_experiment(sink),
         "heat1d-net" => {
-            let report = parallex_bench::netrun::heat1d_net();
+            let report = parallex_bench::netrun::heat1d_net(chaos);
             sink.emit_table("heat1d_net", report.summary);
             sink.emit_ext("BENCH_net", "json", report.bench_json);
+            if let Some(resilience) = report.resilience_json {
+                sink.emit_ext("BENCH_resilience", "json", resilience);
+            }
         }
         "all" => {
             for c in [
                 "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table3",
                 "table4", "table5", "table6", "compare", "sensitivity",
             ] {
-                run(c, sink);
+                run(c, sink, chaos);
             }
         }
         _ => return false,
@@ -377,30 +380,48 @@ fn main() {
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
-    let mut skip_next = false;
-    let cmds: Vec<&String> = args
-        .iter()
-        .filter(|a| {
-            if skip_next {
-                skip_next = false;
-                return false;
+    // `--chaos` takes an optional `key=value,...` spec (empty = the
+    // pinned CI spec); a following bare token is a spec only if it
+    // contains `=`, otherwise it is the next subcommand.
+    let mut chaos: Option<String> = None;
+    let mut cmds: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--out" {
+            i += 2;
+            continue;
+        }
+        if a == "--chaos" {
+            chaos = Some(String::new());
+            if let Some(v) = args.get(i + 1) {
+                if !v.starts_with("--") && v.contains('=') {
+                    chaos = Some(v.clone());
+                    i += 1;
+                }
             }
-            if *a == "--out" {
-                skip_next = true;
-                return false;
-            }
-            !a.starts_with("--")
-        })
-        .collect();
+            i += 1;
+            continue;
+        }
+        if let Some(v) = a.strip_prefix("--chaos=") {
+            chaos = Some(v.to_string());
+            i += 1;
+            continue;
+        }
+        if !a.starts_with("--") {
+            cmds.push(a);
+        }
+        i += 1;
+    }
     if cmds.is_empty() {
         eprintln!(
-            "usage: repro [--csv] [--out DIR] <table1|fig2..fig8|table3..table6|compare|sensitivity|trace|explain|serve|heat1d-net|all> [more…]"
+            "usage: repro [--csv] [--out DIR] [--chaos [SPEC]] <table1|fig2..fig8|table3..table6|compare|sensitivity|trace|explain|serve|heat1d-net|all> [more…]"
         );
         std::process::exit(2);
     }
     let sink = Sink { csv, out_dir };
     for c in cmds {
-        if !run(c, &sink) {
+        if !run(c, &sink, chaos.as_deref()) {
             eprintln!("unknown experiment: {c}");
             eprintln!(
                 "known: table1 fig2..fig8 table3..table6 compare sensitivity trace explain serve heat1d-net all"

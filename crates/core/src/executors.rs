@@ -32,6 +32,27 @@ impl ParallelExecutor {
     pub fn new(rt: &Runtime) -> Self {
         ParallelExecutor { rt: rt.clone() }
     }
+
+    /// Submit `f` with panic-replay: up to `n` total attempts before the
+    /// future fails ([`crate::resilience::async_replay`] on this
+    /// executor's runtime).
+    pub fn async_replay<T, F>(&self, n: usize, f: F) -> crate::lcos::future::Future<T>
+    where
+        T: Send + 'static,
+        F: Fn() -> T + Send + Sync + 'static,
+    {
+        crate::resilience::async_replay(&self.rt, n, f)
+    }
+
+    /// Submit `n` concurrent copies of `f`, keeping the first success
+    /// ([`crate::resilience::async_replicate`]).
+    pub fn async_replicate<T, F>(&self, n: usize, f: F) -> crate::lcos::future::Future<T>
+    where
+        T: Send + 'static,
+        F: Fn() -> T + Send + Sync + 'static,
+    {
+        crate::resilience::async_replicate(&self.rt, n, f)
+    }
 }
 
 impl Executor for ParallelExecutor {
@@ -66,6 +87,26 @@ impl BlockExecutor {
             return 0;
         }
         (chunk_index * self.workers) / chunk_count
+    }
+
+    /// Submit `f` with panic-replay (placement is lost on retry — a
+    /// replayed chunk may land on any worker, trading locality for
+    /// progress).
+    pub fn async_replay<T, F>(&self, n: usize, f: F) -> crate::lcos::future::Future<T>
+    where
+        T: Send + 'static,
+        F: Fn() -> T + Send + Sync + 'static,
+    {
+        crate::resilience::async_replay(&self.rt, n, f)
+    }
+
+    /// Submit `n` concurrent copies of `f`, keeping the first success.
+    pub fn async_replicate<T, F>(&self, n: usize, f: F) -> crate::lcos::future::Future<T>
+    where
+        T: Send + 'static,
+        F: Fn() -> T + Send + Sync + 'static,
+    {
+        crate::resilience::async_replicate(&self.rt, n, f)
     }
 }
 
@@ -193,6 +234,32 @@ mod tests {
         ex.execute(Task::new(|| {}), 1, 2);
         assert_eq!(ex.width(), 1);
         assert_eq!(*log.lock(), vec![Priority::High, Priority::High]);
+    }
+
+    #[test]
+    fn executor_replay_retries_a_panicking_chunk() {
+        let rt = Runtime::builder().worker_threads(2).build();
+        let ex = ParallelExecutor::new(&rt);
+        let tries = Arc::new(AtomicUsize::new(0));
+        let t = tries.clone();
+        let f = ex.async_replay(3, move || {
+            if t.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("flaky chunk");
+            }
+            7
+        });
+        assert_eq!(f.get(), 7);
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn executor_replicate_returns_first_success() {
+        let rt = Runtime::builder().worker_threads(2).build();
+        let ex = BlockExecutor::new(&rt);
+        let f = ex.async_replicate(3, || 42);
+        assert_eq!(f.get(), 42);
+        rt.shutdown();
     }
 
     #[test]

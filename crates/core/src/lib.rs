@@ -51,6 +51,7 @@ pub mod lcos;
 pub mod locality;
 pub mod parcel;
 pub mod perf;
+pub mod resilience;
 pub mod runtime;
 pub mod sched;
 pub mod task;
@@ -68,6 +69,7 @@ pub mod prelude {
     pub use crate::lcos::future::{when_all, when_any, Future, Promise, SharedFuture};
     pub use crate::lcos::latch::Latch;
     pub use crate::locality::{Cluster, Locality};
+    pub use crate::resilience::{async_replay, async_replicate, ChaosSpec, FaultPlan};
     pub use crate::runtime::{Runtime, RuntimeBuilder};
     pub use crate::task::Priority;
     pub use crate::util::HighResolutionTimer;

@@ -7,7 +7,7 @@
 //! ```text
 //! offset  size  field
 //!      0     2  magic  b"PX"
-//!      2     1  version (currently 1)
+//!      2     1  version (currently 2)
 //!      3     1  flags   (bit 0: response token present)
 //!      4     4  source locality          u32
 //!      8     4  dest locality            u32
@@ -16,8 +16,13 @@
 //!     24     4  action id                u32
 //!     28     8  response token           u64 (0 when flags bit 0 clear)
 //!     36     4  payload length           u32
-//!     40     …  payload bytes
+//!     40     4  payload checksum         u32 (FNV-1a over the payload)
+//!     44     …  payload bytes
 //! ```
+//!
+//! Version 2 extended the v1 header with the payload checksum, so wire
+//! corruption that leaves the framing intact is still rejected instead
+//! of silently delivering damaged bytes.
 //!
 //! [`decode`] is *total*: any byte slice either yields a parcel, asks for
 //! more bytes ([`DecodeError::Incomplete`]), or is rejected as
@@ -31,17 +36,37 @@ use bytes::Bytes;
 /// First two bytes of every frame.
 pub const MAGIC: [u8; 2] = *b"PX";
 
-/// Current frame format version.
-pub const VERSION: u8 = 1;
+/// Current frame format version (2: payload checksum added).
+pub const VERSION: u8 = 2;
 
 /// Fixed header size in bytes.
-pub const HEADER_LEN: usize = 40;
+pub const HEADER_LEN: usize = 44;
 
 /// Upper bound on a single parcel's payload (64 MiB). A corrupt length
 /// field must not make the reader allocate unboundedly.
 pub const MAX_PAYLOAD: usize = 64 << 20;
 
 const FLAG_HAS_TOKEN: u8 = 0b0000_0001;
+
+/// FNV-1a 32-bit hash — the payload checksum. Not cryptographic; it
+/// exists to catch accidental wire corruption, and being 4 lines of
+/// code beats vendoring a CRC table.
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    fnv1a32_with(0x811C_9DC5, bytes)
+}
+
+/// Continue an FNV-1a 32-bit hash from `state` — lets callers checksum
+/// logically concatenated byte ranges without copying them together
+/// (the reliable layer hashes its carrier header and the payload this
+/// way).
+pub fn fnv1a32_with(state: u32, bytes: &[u8]) -> u32 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
 
 /// Why a byte slice failed to decode as a frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,6 +122,7 @@ pub fn encode(parcel: &Parcel, out: &mut Vec<u8>) {
     out.extend_from_slice(&parcel.action.to_le_bytes());
     out.extend_from_slice(&parcel.response_token.unwrap_or(0).to_le_bytes());
     out.extend_from_slice(&(parcel.payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a32(&parcel.payload).to_le_bytes());
     out.extend_from_slice(&parcel.payload);
 }
 
@@ -146,6 +172,13 @@ pub fn decode(buf: &[u8]) -> Result<(Parcel, usize), DecodeError> {
     let total = HEADER_LEN + payload_len;
     if buf.len() < total {
         return Err(DecodeError::Incomplete { need: total });
+    }
+    let expected = read_u32(buf, 40);
+    let actual = fnv1a32(&buf[HEADER_LEN..total]);
+    if actual != expected {
+        return Err(DecodeError::Malformed(format!(
+            "payload checksum mismatch: header says {expected:#010x}, payload hashes to {actual:#010x}"
+        )));
     }
     let token = read_u64(buf, 28);
     let has_token = flags & FLAG_HAS_TOKEN != 0;
@@ -270,5 +303,36 @@ mod tests {
         encode(&sample(None, b"x"), &mut buf);
         buf[36..40].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(decode(&buf), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_the_checksum() {
+        let mut buf = Vec::new();
+        encode(&sample(Some(3), b"precious payload"), &mut buf);
+        for (byte, bit) in [(HEADER_LEN, 0), (HEADER_LEN + 7, 5), (buf.len() - 1, 7)] {
+            let mut bad = buf.clone();
+            bad[byte] ^= 1 << bit;
+            match decode(&bad) {
+                Err(DecodeError::Malformed(m)) => assert!(m.contains("checksum"), "{m}"),
+                other => panic!("corrupt byte {byte}: {other:?}"),
+            }
+        }
+        decode(&buf).expect("pristine frame still decodes");
+    }
+
+    #[test]
+    fn corrupted_checksum_field_is_malformed() {
+        let mut buf = Vec::new();
+        encode(&sample(None, b"x"), &mut buf);
+        buf[40] ^= 0xFF;
+        assert!(matches!(decode(&buf), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn fnv1a32_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a32(b""), 0x811C_9DC5);
+        assert_eq!(fnv1a32(b"a"), 0xE40C_292C);
+        assert_eq!(fnv1a32(b"foobar"), 0xBF9C_F968);
     }
 }

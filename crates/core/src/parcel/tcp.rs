@@ -43,7 +43,8 @@ pub struct TcpConfig {
     pub queue_capacity_bytes: usize,
     /// Connection attempts before giving up on a peer.
     pub connect_attempts: u32,
-    /// Initial retry backoff (doubles per attempt, capped at 200 ms).
+    /// Initial retry backoff (doubles per attempt, capped at 200 ms,
+    /// jittered ±25% per sleep to avoid synchronized reconnect storms).
     pub connect_backoff: Duration,
 }
 
@@ -203,9 +204,16 @@ impl TcpParcelport {
 
     /// Establish the outgoing connection to `peer_id` at `addr`, with
     /// bounded retry/backoff (the peer's listener may not be up yet).
+    /// Each sleep is jittered ±25% from a PRNG seeded by the
+    /// (local, peer) pair, so peers that start retrying in lockstep —
+    /// e.g. a whole rack reconnecting after a switch blip — desynchronize
+    /// instead of thundering-herd on the same instant.
     pub fn connect_peer(&self, peer_id: u32, addr: SocketAddr) -> Result<()> {
         let cfg = &self.inner.cfg;
         let mut backoff = cfg.connect_backoff;
+        let mut jitter = crate::resilience::SplitMix64::new(
+            ((self.inner.local_id as u64) << 32) | peer_id as u64,
+        );
         let mut last_err = String::new();
         let mut stream = None;
         for _ in 0..cfg.connect_attempts.max(1) {
@@ -219,7 +227,8 @@ impl TcpParcelport {
                 }
                 Err(e) => {
                     last_err = e.to_string();
-                    std::thread::sleep(backoff);
+                    let scale = 0.75 + 0.5 * jitter.next_f64(); // ±25%
+                    std::thread::sleep(backoff.mul_f64(scale));
                     backoff = (backoff * 2).min(Duration::from_millis(200));
                 }
             }

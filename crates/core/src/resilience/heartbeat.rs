@@ -1,0 +1,235 @@
+//! Heartbeat-based failure detection: per-peer liveness state driven by
+//! periodic heartbeat parcels and a phi-style suspicion score.
+//!
+//! Each locality records the arrival times of its peers' heartbeats in a
+//! [`PeerHealth`] table. The monitor (see `Cluster::start_heartbeat`)
+//! periodically computes a suspicion score per peer —
+//! `elapsed / max(observed mean interval, configured interval)` — and
+//! walks the peer through [`PeerState::Alive`] → `Suspect` → `Dead` as
+//! the score crosses the configured thresholds. A late heartbeat
+//! resurrects the peer (network partitions heal).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Action id carrying heartbeats (registered by
+/// `Cluster::start_heartbeat`; listed in
+/// [`super::reliable::ReliableConfig::bypass_actions`] so the
+/// reliability layer never "heals" a liveness probe).
+pub const HEARTBEAT_ACTION: crate::parcel::ActionId = 0xFFFF_4842;
+
+/// Liveness verdict for one peer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeerState {
+    /// Heartbeats arriving on schedule.
+    Alive,
+    /// Overdue past the suspect threshold.
+    Suspect,
+    /// Overdue past the dead threshold.
+    Dead,
+}
+
+impl PeerState {
+    /// Counter encoding (0/1/2) for `/resilience{...}/peer#P/state`.
+    pub fn as_u64(self) -> u64 {
+        match self {
+            PeerState::Alive => 0,
+            PeerState::Suspect => 1,
+            PeerState::Dead => 2,
+        }
+    }
+}
+
+/// Heartbeat protocol tuning.
+#[derive(Clone, Debug)]
+pub struct HeartbeatConfig {
+    /// How often each locality pings every peer.
+    pub interval: Duration,
+    /// Suspicion score (missed-interval multiples) at which a peer turns
+    /// [`PeerState::Suspect`].
+    pub suspect_after: f64,
+    /// Suspicion score at which a peer turns [`PeerState::Dead`].
+    pub dead_after: f64,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig { interval: Duration::from_millis(50), suspect_after: 4.0, dead_after: 10.0 }
+    }
+}
+
+struct PeerStat {
+    last: Instant,
+    /// EWMA of observed inter-arrival times, in microseconds (the "phi"
+    /// denominator adapts to real jitter instead of trusting the config).
+    mean_us: f64,
+    beats: u64,
+    state: PeerState,
+    /// Expected-beat slots already counted as missed (so each miss is
+    /// counted once, not once per evaluation).
+    missed_counted: u64,
+}
+
+/// Result of one [`PeerHealth::evaluate`] pass.
+#[derive(Debug, Default)]
+pub struct EvalReport {
+    /// `(peer, old state, new state)` for every transition this pass.
+    pub transitions: Vec<(u32, PeerState, PeerState)>,
+    /// Newly detected missed heartbeats (for the miss counter).
+    pub new_misses: u64,
+}
+
+/// Per-locality table of peer liveness, fed by heartbeat arrivals.
+#[derive(Default)]
+pub struct PeerHealth {
+    peers: Mutex<HashMap<u32, PeerStat>>,
+}
+
+impl PeerHealth {
+    /// Empty table.
+    pub fn new() -> PeerHealth {
+        PeerHealth::default()
+    }
+
+    /// Record a heartbeat arrival from `peer`. Returns the peer's state
+    /// before the arrival (so callers can count recoveries).
+    pub fn record_heartbeat(&self, peer: u32) -> PeerState {
+        let now = Instant::now();
+        let mut peers = self.peers.lock();
+        let stat = peers.entry(peer).or_insert(PeerStat {
+            last: now,
+            mean_us: 0.0,
+            beats: 0,
+            state: PeerState::Alive,
+            missed_counted: 0,
+        });
+        let prev = stat.state;
+        if stat.beats > 0 {
+            let d = now.duration_since(stat.last).as_micros() as f64;
+            stat.mean_us = if stat.beats == 1 { d } else { 0.8 * stat.mean_us + 0.2 * d };
+        }
+        stat.last = now;
+        stat.beats += 1;
+        stat.state = PeerState::Alive;
+        stat.missed_counted = 0;
+        prev
+    }
+
+    /// Suspicion score for `peer` right now (0 when unknown).
+    pub fn suspicion(&self, peer: u32, cfg: &HeartbeatConfig) -> f64 {
+        let peers = self.peers.lock();
+        let Some(stat) = peers.get(&peer) else { return 0.0 };
+        Self::phi(stat, Instant::now(), cfg)
+    }
+
+    fn phi(stat: &PeerStat, now: Instant, cfg: &HeartbeatConfig) -> f64 {
+        let expected_us = (cfg.interval.as_micros() as f64).max(stat.mean_us).max(1.0);
+        now.duration_since(stat.last).as_micros() as f64 / expected_us
+    }
+
+    /// Re-score every known peer and apply state transitions.
+    pub fn evaluate(&self, cfg: &HeartbeatConfig) -> EvalReport {
+        let now = Instant::now();
+        let mut report = EvalReport::default();
+        let mut peers = self.peers.lock();
+        for (peer, stat) in peers.iter_mut() {
+            let phi = Self::phi(stat, now, cfg);
+            let missed = phi as u64;
+            if missed > stat.missed_counted {
+                report.new_misses += missed - stat.missed_counted;
+                stat.missed_counted = missed;
+            }
+            let next = if phi >= cfg.dead_after {
+                PeerState::Dead
+            } else if phi >= cfg.suspect_after {
+                PeerState::Suspect
+            } else {
+                PeerState::Alive
+            };
+            // Only arrivals resurrect: evaluate() never walks a peer
+            // back toward Alive on its own.
+            let worse = next.as_u64() > stat.state.as_u64();
+            if worse {
+                report.transitions.push((*peer, stat.state, next));
+                stat.state = next;
+            }
+        }
+        report
+    }
+
+    /// Current state of `peer` (None if it never sent a heartbeat).
+    pub fn state(&self, peer: u32) -> Option<PeerState> {
+        self.peers.lock().get(&peer).map(|s| s.state)
+    }
+
+    /// Snapshot of all known peers.
+    pub fn states(&self) -> Vec<(u32, PeerState)> {
+        let mut v: Vec<(u32, PeerState)> =
+            self.peers.lock().iter().map(|(p, s)| (*p, s.state)).collect();
+        v.sort_by_key(|(p, _)| *p);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> HeartbeatConfig {
+        HeartbeatConfig {
+            interval: Duration::from_millis(5),
+            suspect_after: 2.0,
+            dead_after: 5.0,
+        }
+    }
+
+    #[test]
+    fn fresh_heartbeats_keep_peer_alive() {
+        let h = PeerHealth::new();
+        h.record_heartbeat(1);
+        let report = h.evaluate(&fast_cfg());
+        assert!(report.transitions.is_empty());
+        assert_eq!(h.state(1), Some(PeerState::Alive));
+    }
+
+    #[test]
+    fn silence_walks_peer_through_suspect_to_dead() {
+        let cfg = fast_cfg();
+        let h = PeerHealth::new();
+        h.record_heartbeat(2);
+        std::thread::sleep(cfg.interval * 3);
+        let report = h.evaluate(&cfg);
+        assert_eq!(report.transitions, vec![(2, PeerState::Alive, PeerState::Suspect)]);
+        assert!(report.new_misses >= 1);
+        std::thread::sleep(cfg.interval * 4);
+        let report = h.evaluate(&cfg);
+        assert_eq!(report.transitions, vec![(2, PeerState::Suspect, PeerState::Dead)]);
+        assert_eq!(h.state(2), Some(PeerState::Dead));
+    }
+
+    #[test]
+    fn late_heartbeat_resurrects_a_dead_peer() {
+        let cfg = fast_cfg();
+        let h = PeerHealth::new();
+        h.record_heartbeat(3);
+        std::thread::sleep(cfg.interval * 8);
+        h.evaluate(&cfg);
+        assert_eq!(h.state(3), Some(PeerState::Dead));
+        let prev = h.record_heartbeat(3);
+        assert_eq!(prev, PeerState::Dead, "caller sees the recovery transition");
+        assert_eq!(h.state(3), Some(PeerState::Alive));
+    }
+
+    #[test]
+    fn misses_are_counted_once_per_expected_slot() {
+        let cfg = fast_cfg();
+        let h = PeerHealth::new();
+        h.record_heartbeat(4);
+        std::thread::sleep(cfg.interval * 3);
+        let a = h.evaluate(&cfg).new_misses;
+        let b = h.evaluate(&cfg).new_misses;
+        assert!(a >= 1);
+        assert!(b <= 1, "immediate re-evaluation must not recount the same misses");
+    }
+}

@@ -29,6 +29,14 @@ use std::sync::Arc;
 /// Action id of the halo-push active message.
 pub const HALO_PUSH: ActionId = 0x48_41; // "HA"
 
+/// Halo-push send attempts before giving up (a transient transport
+/// error — e.g. a reconnecting peer — heals within a retry or two; a
+/// genuinely dead peer still fails after the last attempt).
+const HALO_SEND_ATTEMPTS: usize = 3;
+
+/// Linear backoff base between halo-push retries.
+const HALO_SEND_BACKOFF: std::time::Duration = std::time::Duration::from_millis(2);
+
 /// Which halo slot of the *receiver* a message fills.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Side {
@@ -212,12 +220,16 @@ fn drive_partition(
         // (1) Ship boundary cells to the neighbours; their parcels travel
         // while we compute the interior.
         if let Some(lg) = left_gid {
-            loc.apply(lg, HALO_PUSH, &(Side::Right, t, u[1]))
-                .expect("halo parcel to left neighbour");
+            parallex::resilience::retry(HALO_SEND_ATTEMPTS, HALO_SEND_BACKOFF, || {
+                loc.apply(lg, HALO_PUSH, &(Side::Right, t, u[1]))
+            })
+            .expect("halo parcel to left neighbour");
         }
         if let Some(rg) = right_gid {
-            loc.apply(rg, HALO_PUSH, &(Side::Left, t, u[n]))
-                .expect("halo parcel to right neighbour");
+            parallex::resilience::retry(HALO_SEND_ATTEMPTS, HALO_SEND_BACKOFF, || {
+                loc.apply(rg, HALO_PUSH, &(Side::Left, t, u[n]))
+            })
+            .expect("halo parcel to right neighbour");
         }
         // (2) Interior update (cells 2..=n-1) in parallel on this
         // locality's workers — the Listing 1 `for_each`. Small blocks run
@@ -376,6 +388,32 @@ mod tests {
         assert!(max_abs_diff(&got, &want) < 1e-14, "{}", max_abs_diff(&got, &want));
         // 25 steps × 4 inter-locality halos per step went over sockets.
         assert!(wire_parcels >= 100, "halos must cross the wire, got {wire_parcels}");
+    }
+
+    #[test]
+    fn chaos_run_is_bitwise_identical_to_fault_free_run() {
+        // The tentpole proof at unit scale: the same solve over a
+        // transport injecting drops, dups, delays and bit-corruption
+        // must produce the exact bits of the fault-free run — the
+        // reliability layer heals every fault before it reaches the
+        // numerics.
+        let params = Heat1dParams::new(64, 25, 0.25);
+        let run = |cluster: Cluster| -> Vec<f64> {
+            install(&cluster);
+            let solver = Heat1dSolver::new(&cluster, params);
+            let out = solver.run(bump);
+            cluster.shutdown();
+            out
+        };
+        let fault_free = run(Cluster::new_tcp(3, 2));
+        let chaos = parallex::resilience::ChaosSpec::parse(
+            "seed=1337,drop=5%,dup=2%,corrupt=1%,delay=2ms",
+        )
+        .unwrap();
+        let chaotic = run(Cluster::new_resilient(3, 2, Some(chaos)));
+        assert_eq!(chaotic, fault_free, "chaos run diverged bitwise");
+        let want = heat1d_reference(64, 25, 0.25, 0.0, 0.0, bump);
+        assert!(max_abs_diff(&chaotic, &want) < 1e-14);
     }
 
     #[test]

@@ -149,13 +149,19 @@ fn drive_block(
 
     for t in 0..params.steps as u64 {
         // (1) Ship edge rows; they travel while the interior computes.
+        // A transient transport error (reconnecting peer) retries with
+        // backoff rather than killing the whole solve.
         if let Some(up) = up_gid {
-            loc.apply(up, ROW_PUSH, &(TAG_BOTTOM, t, cur.interior_row(0)))
-                .expect("row parcel to upper neighbour");
+            parallex::resilience::retry(3, std::time::Duration::from_millis(2), || {
+                loc.apply(up, ROW_PUSH, &(TAG_BOTTOM, t, cur.interior_row(0)))
+            })
+            .expect("row parcel to upper neighbour");
         }
         if let Some(down) = down_gid {
-            loc.apply(down, ROW_PUSH, &(TAG_TOP, t, cur.interior_row(block_ny - 1)))
-                .expect("row parcel to lower neighbour");
+            parallex::resilience::retry(3, std::time::Duration::from_millis(2), || {
+                loc.apply(down, ROW_PUSH, &(TAG_TOP, t, cur.interior_row(block_ny - 1)))
+            })
+            .expect("row parcel to lower neighbour");
         }
         // (2) Interior rows (1..block_ny-1): independent of halo rows.
         jacobi_step_scalar_edges(&cur, &mut next, &par(&rt), false);
@@ -245,6 +251,22 @@ mod tests {
         let want = run_serial(params, spot);
         let got = run_dist(4, params, spot);
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn chaos_transport_matches_shared_memory_solver_bitwise() {
+        let params = Jacobi2dDistParams::new(10, 12, 8);
+        let want = run_serial(params, spot);
+        let chaos = parallex::resilience::ChaosSpec::parse(
+            "seed=42,drop=5%,dup=2%,corrupt=1%,delay=1ms",
+        )
+        .unwrap();
+        let cluster = Cluster::new_resilient(3, 2, Some(chaos));
+        install(&cluster);
+        let solver = Jacobi2dDist::new(&cluster, params);
+        let got = solver.run(spot);
+        cluster.shutdown();
+        assert_eq!(got, want, "chaos run diverged from the serial solver");
     }
 
     #[test]

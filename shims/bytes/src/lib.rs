@@ -1,62 +1,117 @@
 //! Offline stand-in for the [`bytes`](https://docs.rs/bytes) crate,
 //! covering the subset this workspace uses: [`Bytes`] as an immutable,
-//! cheaply cloneable, reference-counted byte buffer. The build container
-//! has no registry access, so the real crate cannot be fetched.
+//! cheaply cloneable, reference-counted byte buffer with zero-copy
+//! subslice views. The build container has no registry access, so the
+//! real crate cannot be fetched.
 
 use std::fmt;
-use std::ops::Deref;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// An immutable shared byte buffer. Cloning is O(1) (bumps a refcount);
-/// slicing views are not supported — this workspace only ships whole
-/// payloads.
-#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// An immutable shared byte buffer. Cloning is O(1) (bumps a refcount),
+/// and [`Bytes::slice`] returns an O(1) view sharing the same backing
+/// allocation — like the real crate, equality/ordering/hashing compare
+/// the visible contents, not the backing storage.
+#[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
     pub fn new() -> Bytes {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes::default()
     }
 
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes { data: Arc::from(data) }
+        Bytes { off: 0, len: data.len(), data: Arc::from(data) }
     }
 
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
     }
 
     pub fn as_slice(&self) -> &[u8] {
-        &self.data
+        &self.data[self.off..self.off + self.len]
+    }
+
+    /// A zero-copy view of `range` (indices relative to this view),
+    /// sharing the backing allocation.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds, as the real crate does.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds of Bytes of length {}",
+            self.len
+        );
+        Bytes { data: self.data.clone(), off: self.off + start, len: end - start }
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes { data: Arc::from(v.into_boxed_slice()) }
+        Bytes { off: 0, len: v.len(), data: Arc::from(v.into_boxed_slice()) }
     }
 }
 
@@ -81,7 +136,7 @@ impl FromIterator<u8> for Bytes {
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &byte in self.data.iter() {
+        for &byte in self.as_slice().iter() {
             for esc in std::ascii::escape_default(byte) {
                 write!(f, "{}", esc as char)?;
             }
@@ -107,5 +162,30 @@ mod tests {
     fn empty() {
         assert!(Bytes::new().is_empty());
         assert_eq!(Bytes::default().len(), 0);
+    }
+
+    #[test]
+    fn slice_is_a_zero_copy_view_with_value_equality() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(&*s, &[2, 3, 4]);
+        assert_eq!(s.slice(1..), Bytes::from(vec![3u8, 4]), "nested view, content equality");
+        assert_eq!(s.slice(..0).len(), 0);
+        assert_eq!(b.slice(..), b);
+        let copy = Bytes::copy_from_slice(&[2, 3, 4]);
+        assert_eq!(s, copy, "equality ignores backing storage");
+        use std::collections::hash_map::DefaultHasher;
+        let h = |x: &Bytes| {
+            let mut hasher = DefaultHasher::new();
+            x.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(&s), h(&copy));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from(vec![1u8, 2]).slice(..3);
     }
 }

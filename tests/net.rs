@@ -101,6 +101,35 @@ proptest! {
     }
 
     #[test]
+    fn corrupt_payload_bits_are_rejected_by_the_checksum(
+        ids in (any::<u32>(), any::<u32>(), any::<u32>()),
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        at_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        // Flip one bit anywhere in the *payload* region: unlike the
+        // header flips above (where a flips-bit may survive), the
+        // payload checksum must catch every single-bit payload flip.
+        let p = mk_parcel(ids, 3, payload.clone(), None);
+        let mut buf = Vec::new();
+        frame::encode(&p, &mut buf);
+        let header = buf.len() - payload.len();
+        let at = header + (((payload.len() - 1) as f64) * at_frac) as usize;
+        buf[at] ^= 1 << bit;
+        match frame::decode(&buf) {
+            Err(DecodeError::Malformed(msg)) => {
+                prop_assert!(msg.contains("checksum"), "wrong rejection: {}", msg)
+            }
+            other => prop_assert!(
+                false,
+                "payload bit flip at offset {} must fail the checksum, got {:?}",
+                at,
+                other
+            ),
+        }
+    }
+
+    #[test]
     fn streamed_frames_reassemble_across_chunk_boundaries(
         payloads in proptest::collection::vec(
             proptest::collection::vec(any::<u8>(), 0..64),
